@@ -1,0 +1,34 @@
+"""Shared helpers for the table-reproduction benches."""
+
+from __future__ import annotations
+
+from repro.io.tables import write_markdown
+
+
+def nonzero_terms(metric, tol=1e-6):
+    """Event -> coefficient for coefficients above a numerical floor."""
+    return {
+        e: float(c)
+        for e, c in zip(metric.event_names, metric.coefficients)
+        if abs(c) > tol
+    }
+
+
+def rounded_terms(metric, tol=1e-6):
+    return {e: round(c) for e, c in nonzero_terms(metric, tol).items()}
+
+
+def write_metric_table(results_dir, filename, title, metrics):
+    """Render a paper-style 'Metric | Combination | Error' table."""
+    rows = []
+    for metric in metrics:
+        combo = " + ".join(
+            f"{c:g} x {e}" for e, c in nonzero_terms(metric).items()
+        ) or "(none)"
+        rows.append([metric.metric, combo, f"{metric.error:.2e}"])
+    write_markdown(
+        results_dir / filename,
+        ["Metric", "Combination of Raw Events", "Error"],
+        rows,
+        title=title,
+    )

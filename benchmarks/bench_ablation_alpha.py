@@ -1,0 +1,99 @@
+"""EXP-AB2: ablation — sensitivity of the QRCP tolerance alpha (Sec. V-E).
+
+The paper: "A wide range of values for alpha lead to the creation of a
+matrix X-hat that contains events that properly capture the behavior of
+the hardware component."  Verified by sweeping alpha over several decades
+on the CPU-FLOPs and data-cache representation matrices and checking the
+selection is stable across the plateau.
+
+Timed portion: the full alpha sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.qrcp import qrcp_specialized
+from repro.io.tables import write_csv
+
+CPU_ALPHAS = np.logspace(-6, -1.5, 10)
+#: The cache plateau spans roughly [1e-2.5, 5e-2]; the paper's 5e-2 sits at
+#: its upper edge (see test_alpha_too_large_breaks_cache_selection).
+CACHE_ALPHAS = np.logspace(-2.5, np.log10(5e-2), 8)
+
+
+def _selections(x, names, alphas):
+    out = {}
+    for alpha in alphas:
+        result = qrcp_specialized(x, alpha=float(alpha))
+        out[float(alpha)] = frozenset(names[i] for i in result.selected)
+    return out
+
+
+def test_alpha_plateau_cpu_flops(benchmark, cpu_flops_result, results_dir):
+    x = cpu_flops_result.representation.x_matrix
+    names = cpu_flops_result.representation.event_names
+    reference = frozenset(cpu_flops_result.selected_events)
+
+    selections = benchmark(lambda: _selections(x, names, CPU_ALPHAS))
+
+    rows = [
+        [f"{alpha:.2e}", len(sel), "same" if sel == reference else "DIFFERENT"]
+        for alpha, sel in selections.items()
+    ]
+    write_csv(
+        results_dir / "ablation_alpha_cpu_flops.csv",
+        ["alpha", "n_selected", "vs_paper_selection"],
+        rows,
+    )
+    stable = sum(1 for sel in selections.values() if sel == reference)
+    # The paper's 5e-4 sits on a wide plateau: the entire sweep holds here
+    # because FP representations are exact.
+    assert stable == len(CPU_ALPHAS)
+
+
+def test_alpha_plateau_dcache(benchmark, dcache_result, results_dir):
+    x = dcache_result.representation.x_matrix
+    names = dcache_result.representation.event_names
+    reference = frozenset(dcache_result.selected_events)
+
+    selections = benchmark(lambda: _selections(x, names, CACHE_ALPHAS))
+
+    rows = [
+        [f"{alpha:.2e}", len(sel), "same" if sel == reference else "DIFFERENT"]
+        for alpha, sel in selections.items()
+    ]
+    write_csv(
+        results_dir / "ablation_alpha_dcache.csv",
+        ["alpha", "n_selected", "vs_paper_selection"],
+        rows,
+    )
+    stable = sum(1 for sel in selections.values() if sel == reference)
+    # Noisier data narrows the plateau but the paper's 5e-2 is inside a
+    # robust majority window.
+    assert stable >= len(CACHE_ALPHAS) - 2
+
+
+def test_alpha_too_large_breaks_cache_selection(benchmark, dcache_result):
+    """Above the plateau, rounding merges genuinely different magnitudes:
+    at alpha ~1e-1 the 0.955-scaled MEM_LOAD_L3_HIT_RETIRED:XSNP_NONE
+    rounds to a perfect basis column and can displace L3_HIT."""
+    x = dcache_result.representation.x_matrix
+    names = dcache_result.representation.event_names
+    reference = frozenset(dcache_result.selected_events)
+
+    result = benchmark(lambda: qrcp_specialized(x, alpha=8e-2))
+    big_alpha_selection = frozenset(names[i] for i in result.selected)
+    assert big_alpha_selection != reference
+
+
+def test_alpha_too_small_breaks_cache_selection(benchmark, dcache_result):
+    """Below the noise scale, rounding no longer cleans the columns: tiny
+    alphas inflate the scores of genuinely good events (the reason the
+    cache domain needs alpha = 5e-2 rather than 5e-4)."""
+    x = dcache_result.representation.x_matrix
+    names = dcache_result.representation.event_names
+    reference = frozenset(dcache_result.selected_events)
+
+    result = benchmark(lambda: qrcp_specialized(x, alpha=1e-6))
+    tiny_alpha_selection = frozenset(names[i] for i in result.selected)
+    assert tiny_alpha_selection != reference

@@ -1,0 +1,74 @@
+"""EXP-EXT4: extension — the portability matrix across three architectures.
+
+The paper's introduction motivates automation with the cost of porting
+metric definitions between architectures; this bench quantifies the
+situation on the three modelled machines and writes the one table a
+middleware maintainer wants.
+
+Shape criteria: the branch concepts are universal across the two CPUs
+with *disjoint* raw vocabularies; the per-precision FP concepts are
+Intel-only among the CPUs; "Conditional Branches Executed" composes
+nowhere.
+
+Timed portion: matrix construction from the cached pipeline results.
+"""
+
+import pytest
+
+from repro.core import AnalysisPipeline
+from repro.core.crossarch import portability_matrix
+from repro.hardware.systems import frontier_cpu_node
+
+
+@pytest.fixture(scope="module")
+def zen_flops():
+    return AnalysisPipeline.for_domain("cpu_flops", frontier_cpu_node()).run()
+
+
+@pytest.fixture(scope="module")
+def zen_branch():
+    return AnalysisPipeline.for_domain("branch", frontier_cpu_node()).run()
+
+
+def test_flops_portability_matrix(
+    benchmark, cpu_flops_result, gpu_flops_result, zen_flops, results_dir
+):
+    matrix = benchmark(
+        lambda: portability_matrix(
+            [
+                ("aurora-spr", cpu_flops_result),
+                ("frontier-trento", zen_flops),
+                ("frontier-mi250x", gpu_flops_result),
+            ]
+        )
+    )
+    (results_dir / "ext_portability_flops.md").write_text(
+        f"# FLOPs metric portability across architectures\n\n{matrix.to_markdown()}\n"
+    )
+    # Per-precision CPU metrics: SPR-only among the CPUs; the GPU has its
+    # own metric names entirely (recorded as absent on the CPUs).
+    assert matrix.cell("DP Ops.", "aurora-spr").composable
+    assert not matrix.cell("DP Ops.", "frontier-trento").composable
+    assert not matrix.cell("DP Ops.", "frontier-mi250x").composable  # GPU names differ
+    assert matrix.cell("All DP Ops.", "frontier-mi250x").composable
+    # FMA isolation is impossible on both Intel and AMD CPUs.
+    assert not matrix.cell("DP FMA Instrs.", "aurora-spr").composable
+    assert not matrix.cell("DP FMA Instrs.", "frontier-trento").composable
+
+
+def test_branch_portability_matrix(
+    benchmark, branch_result, zen_branch, results_dir
+):
+    matrix = benchmark(
+        lambda: portability_matrix(
+            [("aurora-spr", branch_result), ("frontier-trento", zen_branch)]
+        )
+    )
+    (results_dir / "ext_portability_branch.md").write_text(
+        f"# Branch metric portability across architectures\n\n{matrix.to_markdown()}\n"
+    )
+    assert len(matrix.universal_metrics()) == 6
+    assert matrix.uncomposable_everywhere() == ["Conditional Branches Executed."]
+    # Same concepts, completely disjoint raw vocabularies: the exact
+    # situation that makes hand-written preset tables expensive.
+    assert matrix.vocabulary_overlap() == 0.0

@@ -1,0 +1,88 @@
+"""EXP-QR-A..D: Section V — events chosen by the specialized QRCP.
+
+The paper's headline qualitative result: with alpha = 5e-4 (5e-2 for the
+cache), Algorithm 2 selects exactly the architecture's "good" events per
+domain.  Timed portion: the specialized QRCP over the representation
+matrix X.
+"""
+
+import pytest
+
+from repro.core.qrcp import qrcp_specialized
+from repro.io.tables import write_markdown
+
+EXPECTED = {
+    "cpu_flops": (
+        "cpu_flops_result",
+        5e-4,
+        {
+            "FP_ARITH_INST_RETIRED:SCALAR_SINGLE",
+            "FP_ARITH_INST_RETIRED:SCALAR_DOUBLE",
+            "FP_ARITH_INST_RETIRED:128B_PACKED_SINGLE",
+            "FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE",
+            "FP_ARITH_INST_RETIRED:256B_PACKED_SINGLE",
+            "FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE",
+            "FP_ARITH_INST_RETIRED:512B_PACKED_SINGLE",
+            "FP_ARITH_INST_RETIRED:512B_PACKED_DOUBLE",
+        },
+    ),
+    "gpu_flops": (
+        "gpu_flops_result",
+        5e-4,
+        {
+            f"rocm:::SQ_INSTS_VALU_{op}_{p}:device=0"
+            for op in ("ADD", "MUL", "TRANS", "FMA")
+            for p in ("F16", "F32", "F64")
+        },
+    ),
+    "branch": (
+        "branch_result",
+        5e-4,
+        {
+            "BR_MISP_RETIRED",
+            "BR_INST_RETIRED:COND",
+            "BR_INST_RETIRED:COND_TAKEN",
+            "BR_INST_RETIRED:ALL_BRANCHES",
+        },
+    ),
+    "dcache": (
+        "dcache_result",
+        5e-2,
+        {
+            "MEM_LOAD_RETIRED:L3_HIT",
+            "L2_RQSTS:DEMAND_DATA_RD_HIT",
+            "MEM_LOAD_RETIRED:L1_MISS",
+            "MEM_LOAD_RETIRED:L1_HIT",
+        },
+    ),
+}
+
+
+@pytest.mark.parametrize("domain", sorted(EXPECTED))
+def test_qrcp_selects_paper_events(benchmark, domain, results_dir, request):
+    fixture, alpha, expected = EXPECTED[domain]
+    result = request.getfixturevalue(fixture)
+    x = result.representation.x_matrix
+    names = result.representation.event_names
+
+    qrcp = benchmark(lambda: qrcp_specialized(x, alpha=alpha))
+    selected = {names[i] for i in qrcp.selected}
+    assert selected == expected
+
+    write_markdown(
+        results_dir / f"sectionV_{domain}_selected_events.md",
+        ["#", "Selected event"],
+        [[i + 1, names[idx]] for i, idx in enumerate(qrcp.selected)],
+        title=f"Section V selection for {domain} (alpha={alpha:g})",
+    )
+
+
+@pytest.mark.parametrize("domain", sorted(EXPECTED))
+def test_qrcp_rank_matches_architecture(benchmark, domain, request):
+    """Selections are square-or-overdetermined vs the basis (paper Sec. V):
+    CPU 8 of 16 dims, GPU 12 of 15, branch 4 of 5, cache 4 of 4."""
+    fixture, alpha, expected = EXPECTED[domain]
+    result = request.getfixturevalue(fixture)
+    rank = benchmark(lambda: result.qrcp.rank)
+    assert rank == len(expected)
+    assert rank <= result.representation.basis.n_dimensions

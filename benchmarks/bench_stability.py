@@ -1,0 +1,85 @@
+"""EXP-EXT5: extension — selection stability across measurement-noise seeds.
+
+The paper runs on one machine at one time; a practitioner wants to know
+whether a rerun next week lands on the same preset definitions.  This
+bench reruns the pipelines across node seeds and checks:
+
+* exact-measurement domains (branch, CPU FLOPs): bit-stable selections;
+* noisy domains (dcache): the unique-carrier dimensions never vary, and
+  the shared dimensions only move within their semantic equivalence class
+  (interchangeable raw events measuring the same concept).
+
+The multi-seed sweeps run once per session (fixtures); the timed portion
+is the carrier aggregation.
+"""
+
+import pytest
+
+from repro.core.stability import selection_stability
+from repro.hardware import aurora_node
+from repro.io.tables import write_csv
+
+SEEDS = [1, 2, 7, 42, 1234]
+
+
+@pytest.fixture(scope="module")
+def branch_stability():
+    return selection_stability(lambda s: aurora_node(seed=s), "branch", seeds=SEEDS)
+
+
+@pytest.fixture(scope="module")
+def flops_stability():
+    return selection_stability(
+        lambda s: aurora_node(seed=s), "cpu_flops", seeds=SEEDS[:3]
+    )
+
+
+@pytest.fixture(scope="module")
+def dcache_stability():
+    return selection_stability(lambda s: aurora_node(seed=s), "dcache", seeds=SEEDS)
+
+
+def test_branch_stability(benchmark, results_dir, branch_stability):
+    report = branch_stability
+    deterministic = benchmark(lambda: report.is_deterministic)
+    assert deterministic
+    _write(results_dir, report)
+
+
+def test_cpu_flops_stability(benchmark, results_dir, flops_stability):
+    report = flops_stability
+    families = benchmark(report.carrier_families)
+    assert report.is_deterministic
+    assert all(len(events) == 1 for events in families.values())
+    _write(results_dir, report)
+
+
+def test_dcache_stability_within_equivalence_classes(
+    benchmark, results_dir, dcache_stability
+):
+    report = dcache_stability
+    families = benchmark(report.carrier_families)
+    # Unique carriers: stable across every seed.
+    assert families["L1DH"] == ["MEM_LOAD_RETIRED:L1_HIT"]
+    assert families["L2DH"] == ["L2_RQSTS:DEMAND_DATA_RD_HIT"]
+    assert families["L3DH"] == ["MEM_LOAD_RETIRED:L3_HIT"]
+    # Shared dimension: only semantically equivalent events ever win.
+    assert set(families["L1DM"]) <= {
+        "MEM_LOAD_RETIRED:L1_MISS",
+        "L2_RQSTS:ALL_DEMAND_DATA_RD",
+        "L2_RQSTS:ALL_DEMAND_REFERENCES",
+        "OFFCORE_REQUESTS:DEMAND_DATA_RD",
+    }
+    _write(results_dir, report)
+
+
+def _write(results_dir, report):
+    rows = []
+    for dim, counter in report.dimension_carriers.items():
+        for event, count in counter.most_common():
+            rows.append([report.domain, dim, event, count])
+    write_csv(
+        results_dir / f"ext_stability_{report.domain}.csv",
+        ["domain", "dimension", "carrier_event", "seeds_won"],
+        rows,
+    )

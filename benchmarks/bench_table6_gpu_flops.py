@@ -1,0 +1,90 @@
+"""EXP-T6: Table VI — GPU floating-point metric definitions on MI250X.
+
+Shape criteria:
+
+* "HP Add Ops." and "HP Sub Ops." in isolation: coefficient 0.5 on
+  SQ_INSTS_VALU_ADD_F16 with backward error ~4.14e-1 (the ADD counter
+  fires for both adds and subs, so neither is separable).
+* "HP Add and Sub Ops.": exactly 1 x ADD_F16, machine-epsilon error.
+* "All {HP,SP,DP} Ops.": 2 x FMA + 1 x MUL + 1 x TRANS + 1 x ADD at the
+  respective precision, machine-epsilon error.
+
+Timed portion: metric composition over the 12-event X-hat.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import nonzero_terms, rounded_terms, write_metric_table
+from repro.core.metrics import compose_metric
+from repro.core.signatures import gpu_flops_signatures
+
+PAPER_ERRORS = {
+    "HP Add Ops.": 4.14e-1,
+    "HP Sub Ops.": 4.14e-1,
+    "HP Add and Sub Ops.": 5.55e-17,
+    "All HP Ops.": 2.39e-17,
+    "All SP Ops.": 2.39e-17,
+    "All DP Ops.": 2.39e-17,
+}
+
+
+def test_table6_metric_definitions(benchmark, gpu_flops_result, results_dir):
+    result = gpu_flops_result
+    signatures = gpu_flops_signatures()
+
+    def compose_all():
+        return [
+            compose_metric(s.name, result.x_hat, result.selected_events, s)
+            for s in signatures
+        ]
+
+    metrics = benchmark(compose_all)
+    by_name = {m.metric: m for m in metrics}
+    write_metric_table(
+        results_dir,
+        "table6_gpu_flops_metrics.md",
+        "Table VI: GPU floating-point metrics (reproduced)",
+        metrics,
+    )
+
+    for name in ("HP Add Ops.", "HP Sub Ops."):
+        m = by_name[name]
+        assert m.error == pytest.approx(PAPER_ERRORS[name], abs=2e-3)
+        terms = nonzero_terms(m)
+        assert set(terms) == {"rocm:::SQ_INSTS_VALU_ADD_F16:device=0"}
+        assert terms["rocm:::SQ_INSTS_VALU_ADD_F16:device=0"] == pytest.approx(0.5)
+
+    add_sub = by_name["HP Add and Sub Ops."]
+    assert add_sub.error < 1e-12
+    assert rounded_terms(add_sub) == {"rocm:::SQ_INSTS_VALU_ADD_F16:device=0": 1}
+
+    for name, suffix in (
+        ("All HP Ops.", "F16"),
+        ("All SP Ops.", "F32"),
+        ("All DP Ops.", "F64"),
+    ):
+        m = by_name[name]
+        assert m.error < 1e-12
+        assert rounded_terms(m) == {
+            f"rocm:::SQ_INSTS_VALU_FMA_{suffix}:device=0": 2,
+            f"rocm:::SQ_INSTS_VALU_MUL_{suffix}:device=0": 1,
+            f"rocm:::SQ_INSTS_VALU_TRANS_{suffix}:device=0": 1,
+            f"rocm:::SQ_INSTS_VALU_ADD_{suffix}:device=0": 1,
+        }
+
+
+def test_table6_add_event_counts_sub_kernels(benchmark, gpu_flops_result):
+    """Section V-B observation: ADD events fire equally for addition and
+    subtraction kernels — verified on the measured data itself."""
+    ms = gpu_flops_result.measurement
+
+    def vector():
+        return ms.mean_vector("rocm:::SQ_INSTS_VALU_ADD_F16:device=0")
+
+    v = benchmark(vector)
+    labels = ms.row_labels
+    add_rows = [i for i, l in enumerate(labels) if l.startswith("add_f16/")]
+    sub_rows = [i for i, l in enumerate(labels) if l.startswith("sub_f16/")]
+    assert np.allclose(v[add_rows], v[sub_rows])
+    assert v[add_rows].tolist() == [24.0, 48.0, 96.0]

@@ -1,0 +1,73 @@
+"""EXP-T7: Table VII — branching metric definitions on SPR.
+
+Shape criteria: six metrics compose exactly (machine-epsilon errors) with
+the paper's combinations; "Conditional Branches Executed." is certified
+uncomposable with backward error exactly 1.0 and near-zero coefficients —
+Sapphire Rapids has no speculative branch-execution event.
+
+Timed portion: metric composition over the 4-event X-hat.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import rounded_terms, write_metric_table
+from repro.core.metrics import compose_metric
+from repro.core.signatures import branch_signatures
+
+PAPER_COMBINATIONS = {
+    "Unconditional Branches.": {
+        "BR_INST_RETIRED:COND": -1,
+        "BR_INST_RETIRED:ALL_BRANCHES": 1,
+    },
+    "Conditional Branches Taken.": {"BR_INST_RETIRED:COND_TAKEN": 1},
+    "Conditional Branches Not Taken.": {
+        "BR_INST_RETIRED:COND": 1,
+        "BR_INST_RETIRED:COND_TAKEN": -1,
+    },
+    "Mispredicted Branches.": {"BR_MISP_RETIRED": 1},
+    "Correctly Predicted Branches.": {
+        "BR_MISP_RETIRED": -1,
+        "BR_INST_RETIRED:COND": 1,
+    },
+    "Conditional Branches Retired.": {"BR_INST_RETIRED:COND": 1},
+}
+
+
+def test_table7_metric_definitions(benchmark, branch_result, results_dir):
+    result = branch_result
+    signatures = branch_signatures()
+
+    def compose_all():
+        return [
+            compose_metric(s.name, result.x_hat, result.selected_events, s)
+            for s in signatures
+        ]
+
+    metrics = benchmark(compose_all)
+    by_name = {m.metric: m for m in metrics}
+    write_metric_table(
+        results_dir,
+        "table7_branch_metrics.md",
+        "Table VII: branching metrics (reproduced)",
+        metrics,
+    )
+
+    for name, combination in PAPER_COMBINATIONS.items():
+        m = by_name[name]
+        assert m.error < 1e-12, name
+        assert rounded_terms(m) == combination, name
+
+
+def test_table7_executed_branches_uncomposable(benchmark, branch_result):
+    """The paper's absence certificate: error exactly 1, coefficients ~0
+    (Table VII's last row shows 1e-16-scale coefficients)."""
+    signature = [s for s in branch_signatures() if "Executed" in s.name][0]
+
+    metric = benchmark(
+        lambda: compose_metric(
+            signature.name, branch_result.x_hat, branch_result.selected_events, signature
+        )
+    )
+    assert np.isclose(metric.error, 1.0)
+    assert np.abs(metric.coefficients).max() < 1e-10

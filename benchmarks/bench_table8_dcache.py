@@ -1,0 +1,85 @@
+"""EXP-T8: Table VIII — data-cache metric definitions on SPR.
+
+Shape criteria: all six metrics compose with tiny backward error; the
+raw least-squares coefficients are *noisy* — within ~2% of {-1, 0, 1}
+with small cross-terms (the paper's bound: within 2% of one or smaller
+than 5.87e-3) — and Section VI-D's integer rounding recovers the exact
+combinations.
+
+Timed portion: metric composition over the noisy 4-event X-hat.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import write_metric_table
+from repro.core.metrics import compose_metric, round_coefficients
+from repro.core.signatures import dcache_signatures
+
+PAPER_ROUNDED = {
+    "L1 Misses.": {"MEM_LOAD_RETIRED:L1_MISS": 1.0},
+    "L1 Hits.": {"MEM_LOAD_RETIRED:L1_HIT": 1.0},
+    "L1 Reads.": {
+        "MEM_LOAD_RETIRED:L1_MISS": 1.0,
+        "MEM_LOAD_RETIRED:L1_HIT": 1.0,
+    },
+    "L2 Hits.": {"L2_RQSTS:DEMAND_DATA_RD_HIT": 1.0},
+    "L2 Misses.": {
+        "MEM_LOAD_RETIRED:L1_MISS": 1.0,
+        "L2_RQSTS:DEMAND_DATA_RD_HIT": -1.0,
+    },
+    "L3 Hits.": {"MEM_LOAD_RETIRED:L3_HIT": 1.0},
+}
+
+
+def test_table8_metric_definitions(benchmark, dcache_result, results_dir):
+    result = dcache_result
+    signatures = dcache_signatures()
+
+    def compose_all():
+        return [
+            compose_metric(s.name, result.x_hat, result.selected_events, s)
+            for s in signatures
+        ]
+
+    metrics = benchmark(compose_all)
+    write_metric_table(
+        results_dir,
+        "table8_dcache_metrics.md",
+        "Table VIII: data-cache metrics (reproduced, raw least squares)",
+        metrics,
+    )
+
+    for metric in metrics:
+        # Tiny least-squares error despite the noise.
+        assert metric.error < 1e-10, metric.metric
+        # Coefficients within 2% of an integer, or below the paper's
+        # 5.87e-3 cross-term bound.
+        for c in metric.coefficients:
+            nearest = round(c)
+            close = abs(c - nearest) <= 0.02 * max(abs(nearest), 1.0)
+            assert close or abs(c) < 5.87e-3, (metric.metric, c)
+        # ...but NOT exactly integral: the noise is real.
+        assert any(c != round(c) for c in metric.coefficients), metric.metric
+
+
+def test_table8_rounding_recovers_exact_combinations(
+    benchmark, dcache_result, results_dir
+):
+    result = dcache_result
+
+    def snap_all():
+        return {
+            name: round_coefficients(m, x_hat=result.x_hat)
+            for name, m in result.metrics.items()
+        }
+
+    rounded = benchmark(snap_all)
+    write_metric_table(
+        results_dir,
+        "table8_dcache_metrics_rounded.md",
+        "Table VIII after Section VI-D rounding (reproduced)",
+        list(rounded.values()),
+    )
+    for name, expected in PAPER_ROUNDED.items():
+        assert rounded[name].terms() == expected, name

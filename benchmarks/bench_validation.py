@@ -1,0 +1,117 @@
+"""EXP-EXT2: extension — metric definitions validated on unseen workloads.
+
+Figure 3 validates compositions on the calibration kernels themselves;
+this bench generalizes the check: every composable metric from the CPU
+FLOPs and branch pipelines is evaluated on randomized workloads the
+calibration never saw, and compared against the simulator's ground truth.
+Composable metrics must agree exactly; the uncomposable FMA best-effort
+must *fail* validation (its error is not an artifact of the calibration
+set).
+
+Timed portion: the validation sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.activity import fp_instr_key
+from repro.core.validation import validate_definition
+from repro.hardware import ComputeKernel
+from repro.hardware.branch import BranchSpec
+from repro.io.tables import write_csv
+
+
+def _random_fp_workloads(node, n=10, seed=42):
+    rng = np.random.default_rng(seed)
+    widths = ("scalar", "128", "256", "512")
+    out = []
+    for i in range(n):
+        fp_ops = {}
+        for _ in range(int(rng.integers(1, 6))):
+            key = fp_instr_key(
+                widths[rng.integers(0, 4)],
+                ("sp", "dp")[rng.integers(0, 2)],
+                ("nonfma", "fma")[rng.integers(0, 2)],
+            )
+            fp_ops[key] = fp_ops.get(key, 0.0) + float(rng.integers(1, 100))
+        kernel = ComputeKernel(name=f"app{i}", fp_ops=fp_ops)
+        out.append((kernel.name, node.machine.run_compute(kernel)))
+    return out
+
+
+def _random_branch_workloads(node, n=8, seed=11):
+    rng = np.random.default_rng(seed)
+    patterns = ("taken", "not_taken", "alternate", "unpredictable")
+    out = []
+    for i in range(n):
+        body = tuple(
+            BranchSpec(patterns[rng.integers(0, 4)])
+            for _ in range(int(rng.integers(1, 4)))
+        )
+        kernel = ComputeKernel(name=f"app{i}", branches=(BranchSpec("taken"),) + body)
+        out.append((kernel.name, node.machine.run_compute(kernel)))
+    return out
+
+
+def test_flops_metrics_validate_on_unseen_mixes(
+    benchmark, aurora, cpu_flops_result, results_dir
+):
+    workloads = _random_fp_workloads(aurora)
+    basis = cpu_flops_result.representation.basis
+    composable = [
+        m for m in cpu_flops_result.metrics.values() if m.composable
+    ]
+
+    def run_all():
+        return [
+            validate_definition(m, basis, workloads, aurora.events)
+            for m in composable
+        ]
+
+    validations = benchmark(run_all)
+    rows = []
+    for v in validations:
+        rows.append([v.metric, len(v.cases), v.max_rel_error, "PASS" if v.passed else "FAIL"])
+        assert v.passed, v.summary()
+    write_csv(
+        results_dir / "ext_validation_cpu_flops.csv",
+        ["metric", "workloads", "max_rel_error", "status"],
+        rows,
+    )
+
+
+def test_branch_metrics_validate_on_unseen_patterns(
+    benchmark, aurora, branch_result, results_dir
+):
+    workloads = _random_branch_workloads(aurora)
+    basis = branch_result.representation.basis
+    composable = [m for m in branch_result.metrics.values() if m.composable]
+
+    def run_all():
+        return [
+            validate_definition(m, basis, workloads, aurora.events)
+            for m in composable
+        ]
+
+    validations = benchmark(run_all)
+    rows = []
+    for v in validations:
+        rows.append([v.metric, len(v.cases), v.max_rel_error, "PASS" if v.passed else "FAIL"])
+        assert v.passed, v.summary()
+    write_csv(
+        results_dir / "ext_validation_branch.csv",
+        ["metric", "workloads", "max_rel_error", "status"],
+        rows,
+    )
+
+
+def test_uncomposable_fma_fails_validation(benchmark, aurora, cpu_flops_result):
+    workloads = _random_fp_workloads(aurora, seed=77)
+    basis = cpu_flops_result.representation.basis
+    fma = cpu_flops_result.metrics["DP FMA Instrs."]
+
+    validation = benchmark(
+        lambda: validate_definition(fma, basis, workloads, aurora.events, tolerance=1e-3)
+    )
+    assert not validation.passed
+    assert validation.max_rel_error > 0.05

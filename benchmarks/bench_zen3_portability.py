@@ -1,0 +1,87 @@
+"""EXP-EXT1: beyond the paper — the pipeline on AMD Zen 3 (Trento).
+
+Extends the evaluation to Frontier's host CPU and checks the
+architecture-specific findings the method should discover there:
+
+* per-precision FP metrics uncomposable (merged-precision FLOP counters —
+  the AMD limitation the paper's Section III-B mentions);
+* "Conditional Branches Taken" composed as all-taken minus unconditional;
+* "L1 Hits" composed by subtraction (no L1-hit event exists);
+* CE uncomposable, as on Intel.
+
+Timed portions: the full metric composition per domain on the Zen node.
+"""
+
+import numpy as np
+import pytest
+
+from _helpers import write_metric_table
+from repro.core import AnalysisPipeline
+from repro.core.metrics import compose_metric
+from repro.hardware.systems import frontier_cpu_node
+
+
+@pytest.fixture(scope="module")
+def zen_node():
+    return frontier_cpu_node()
+
+
+@pytest.fixture(scope="module")
+def zen_results(zen_node):
+    return {
+        domain: AnalysisPipeline.for_domain(domain, zen_node).run()
+        for domain in ("cpu_flops", "branch", "dcache")
+    }
+
+
+def test_zen3_flops_absence_detection(benchmark, zen_results, results_dir):
+    result = zen_results["cpu_flops"]
+
+    def compose_all():
+        return [
+            compose_metric(m.metric, result.x_hat, result.selected_events, m.signature)
+            for m in result.metrics.values()
+        ]
+
+    metrics = benchmark(compose_all)
+    write_metric_table(
+        results_dir,
+        "ext_zen3_flops_metrics.md",
+        "Extension: Zen 3 FP metrics (merged-precision counters)",
+        metrics,
+    )
+    for metric in metrics:
+        assert not metric.composable, metric.metric
+        assert metric.error > 0.1
+
+
+def test_zen3_branch_compositions(benchmark, zen_results, results_dir):
+    result = zen_results["branch"]
+    metrics = benchmark(lambda: list(result.metrics.values()))
+    write_metric_table(
+        results_dir,
+        "ext_zen3_branch_metrics.md",
+        "Extension: Zen 3 branching metrics",
+        metrics,
+    )
+    by_name = {m.metric: m for m in metrics}
+    taken = by_name["Conditional Branches Taken."]
+    assert taken.error < 1e-10
+    terms = {e: round(c) for e, c in taken.terms().items() if abs(c) > 1e-6}
+    assert terms == {"EX_RET_BRN_TKN": 1, "EX_RET_UNCOND_BRNCH_INSTR": -1}
+    assert np.isclose(by_name["Conditional Branches Executed."].error, 1.0)
+
+
+def test_zen3_cache_compositions(benchmark, zen_results, results_dir):
+    result = zen_results["dcache"]
+    rounded = benchmark(lambda: dict(result.rounded_metrics))
+    write_metric_table(
+        results_dir,
+        "ext_zen3_dcache_metrics.md",
+        "Extension: Zen 3 data-cache metrics (rounded)",
+        list(rounded.values()),
+    )
+    for name, metric in rounded.items():
+        assert all(c == round(c) for c in metric.terms().values()), name
+    # L1 Hits derived by subtraction.
+    assert sorted(rounded["L1 Hits."].terms().values()) == [-1.0, 1.0]

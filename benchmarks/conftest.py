@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper has a bench module; pipeline results
+are computed once per session and shared, so the timed portions measure
+the analysis kernels (QRCP, least squares, RNMSE) rather than redundant
+benchmark re-runs.  Artifacts (reproduced tables, figure series, ASCII
+plots) are written under ``results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import AnalysisPipeline
+from repro.hardware.systems import aurora_node, frontier_node
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def aurora():
+    return aurora_node()
+
+
+@pytest.fixture(scope="session")
+def frontier():
+    return frontier_node()
+
+
+@pytest.fixture(scope="session")
+def branch_result(aurora):
+    return AnalysisPipeline.for_domain("branch", aurora).run()
+
+
+@pytest.fixture(scope="session")
+def cpu_flops_result(aurora):
+    return AnalysisPipeline.for_domain("cpu_flops", aurora).run()
+
+
+@pytest.fixture(scope="session")
+def gpu_flops_result(frontier):
+    return AnalysisPipeline.for_domain("gpu_flops", frontier).run()
+
+
+@pytest.fixture(scope="session")
+def dcache_result(aurora):
+    return AnalysisPipeline.for_domain("dcache", aurora).run()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Noise-threshold exploration (the paper's Section IV, interactively).
+
+Reproduces the reasoning behind the two tau values: plots the sorted
+max-RNMSE variabilities for the branching and data-cache benchmarks (the
+paper's Figures 2a/2d), sweeps tau for each, and shows why 1e-10 is a
+free choice for the branch events while the cache needs the lenient 1e-1
+plus the median-across-threads trick.
+
+Run:  python examples/noise_threshold_study.py
+"""
+
+import numpy as np
+
+from repro.cat import BenchmarkRunner, BranchBenchmark, DCacheBenchmark
+from repro.core.noise_filter import analyze_noise
+from repro.hardware import aurora_node
+from repro.viz.ascii import log_scatter
+from repro.viz.series import fig2_series
+
+
+def main() -> None:
+    node = aurora_node(seed=2024)
+    runner = BenchmarkRunner(node, repetitions=5)
+
+    for benchmark, tau in ((BranchBenchmark(), 1e-10), (DCacheBenchmark(), 1e-1)):
+        measurement = runner.run(benchmark)
+        noise = analyze_noise(measurement, tau=tau)
+        series = fig2_series(noise)
+
+        print(
+            log_scatter(
+                series.values,
+                threshold=tau,
+                title=f"--- {benchmark.name}: sorted max-RNMSE over "
+                f"{noise.n_measured} events ---",
+            )
+        )
+        lo, hi = series.separation_gap()
+        print(f"zero-noise events: {series.n_zero_noise}")
+        print(f"largest variability kept:    {lo:.3e}")
+        print(f"smallest variability dropped: {hi:.3e}")
+        if lo == 0.0 and hi > 1e-8:
+            print(
+                "-> a clean separation: any tau in the gap works "
+                "(the paper picks 1e-10)."
+            )
+        else:
+            print(
+                "-> no clean gap: the threshold is a real trade-off; the "
+                "paper keeps it lenient and relies on the thread median + "
+                "representation residuals downstream."
+            )
+        print()
+
+        print(f"tau sweep for {benchmark.name}:")
+        for sweep_tau in np.logspace(-12, 0, 7):
+            report = analyze_noise(measurement, tau=float(sweep_tau))
+            print(f"  tau = {sweep_tau:8.1e}  -> {len(report.kept):4d} events kept")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Automated Data Analysis for Defining Performance
+Metrics from Raw Hardware Events" (Barry, Danalis, Dongarra; IPDPSW 2024).
+
+The package is organized bottom-up:
+
+* :mod:`repro.linalg` — Householder QR, triangular solves, least squares.
+* :mod:`repro.events` — raw-event model and per-architecture catalogs.
+* :mod:`repro.hardware` — simulated CPU/GPU machines (cache hierarchy,
+  branch unit, FP pipes, TLB, PMU with counter multiplexing).
+* :mod:`repro.papi` — PAPI-like middleware (event sets, components,
+  preset metrics).
+* :mod:`repro.cat` — Counter Analysis Toolkit benchmarks and runner.
+* :mod:`repro.core` — the paper's analysis pipeline: expectation bases,
+  noise filtering, specialized QRCP, metric composition.
+* :mod:`repro.io`, :mod:`repro.viz`, :mod:`repro.cli` — persistence,
+  plotting, command-line driver.
+
+Quickstart::
+
+    from repro import AnalysisPipeline, aurora_node
+
+    machine = aurora_node()
+    pipeline = AnalysisPipeline.for_domain("cpu_flops", machine)
+    result = pipeline.run()
+    print(result.metric("DP Ops").pretty())
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazy top-level re-exports, keeping ``import repro`` import-light."""
+    if name in ("AnalysisPipeline", "PipelineResult"):
+        from repro.core import pipeline as _pipeline
+
+        return getattr(_pipeline, name)
+    if name in ("aurora_node", "frontier_node"):
+        from repro.hardware import systems as _systems
+
+        return getattr(_systems, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = [
+    "AnalysisPipeline",
+    "PipelineResult",
+    "__version__",
+    "aurora_node",
+    "frontier_node",
+]

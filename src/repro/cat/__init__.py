@@ -1,0 +1,22 @@
+"""Counter Analysis Toolkit (CAT) benchmarks and measurement runner."""
+
+from repro.cat.branch import BRANCH_KERNEL_SPECS, BranchBenchmark
+from repro.cat.dcache import DCacheBenchmark, default_footprints
+from repro.cat.dtlb import DTLBBenchmark, default_page_counts
+from repro.cat.flops_cpu import CPUFlopsBenchmark
+from repro.cat.flops_gpu import GPUFlopsBenchmark
+from repro.cat.measurement import MeasurementSet
+from repro.cat.runner import BenchmarkRunner
+
+__all__ = [
+    "BRANCH_KERNEL_SPECS",
+    "BenchmarkRunner",
+    "BranchBenchmark",
+    "CPUFlopsBenchmark",
+    "DCacheBenchmark",
+    "DTLBBenchmark",
+    "default_page_counts",
+    "GPUFlopsBenchmark",
+    "MeasurementSet",
+    "default_footprints",
+]

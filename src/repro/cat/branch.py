@@ -1,0 +1,119 @@
+"""CAT branching benchmark: 11 kernels matching the paper's Eq. 3 rows.
+
+Each kernel is a loop whose body contains a controlled mix of conditional
+branches (always-taken, never-taken, alternating, de Bruijn-unpredictable),
+optionally-guarded branches executed every other iteration, unconditional
+direct branches, and — for the rows where executed > retired — wrong-path
+conditionals fetched speculatively after a misprediction.  The loop's own
+back-branch is the first "taken" spec in each row.
+
+Running these through the machine's branch unit reproduces the paper's
+expectation matrix *exactly* (see ``tests/cat/test_branch_bench.py``):
+
+    row  (CE,  CR,  T,   D, M)
+     1   (2,   2,   1.5, 0, 0)      loop + alternating
+     2   (2,   2,   1,   0, 0)      loop + never-taken
+     3   (2,   2,   2,   0, 0)      loop + always-taken
+     4   (2,   2,   1.5, 0, 0.5)    loop + unpredictable
+     5   (2.5, 2.5, 1.5, 0, 0.5)    ... + guarded never-taken
+     6   (2.5, 2.5, 2,   0, 0.5)    ... + guarded always-taken
+     7   (2.5, 2,   1.5, 0, 0.5)    unpredictable with 1 wrong-path branch
+     8   (3,   2.5, 1.5, 0, 0.5)    ... + guarded never-taken
+     9   (3,   2.5, 2,   0, 0.5)    ... + guarded always-taken
+    10   (2,   2,   1,   1, 0)      loop + never-taken + unconditional
+    11   (1,   1,   1,   0, 0)      empty body (just the loop)
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.activity import Activity
+from repro.events.model import EventDomain
+from repro.hardware.branch import BranchSpec
+from repro.hardware.cpu import ComputeKernel, SimulatedCPU
+
+__all__ = ["BranchBenchmark", "BRANCH_KERNEL_SPECS"]
+
+#: (kernel label, branch specs including the loop back-branch)
+BRANCH_KERNEL_SPECS: Tuple[Tuple[str, Tuple[BranchSpec, ...]], ...] = (
+    ("k01_alternating", (BranchSpec("taken"), BranchSpec("alternate"))),
+    ("k02_never_taken", (BranchSpec("taken"), BranchSpec("not_taken"))),
+    ("k03_always_taken", (BranchSpec("taken"), BranchSpec("taken"))),
+    ("k04_unpredictable", (BranchSpec("taken"), BranchSpec("unpredictable"))),
+    (
+        "k05_unpred_guard_nt",
+        (
+            BranchSpec("taken"),
+            BranchSpec("unpredictable"),
+            BranchSpec("not_taken", execute_every=2),
+        ),
+    ),
+    (
+        "k06_unpred_guard_t",
+        (
+            BranchSpec("taken"),
+            BranchSpec("unpredictable"),
+            BranchSpec("taken", execute_every=2),
+        ),
+    ),
+    (
+        "k07_wrong_path",
+        (BranchSpec("taken"), BranchSpec("unpredictable", wrong_path_branches=1)),
+    ),
+    (
+        "k08_wrong_path_guard_nt",
+        (
+            BranchSpec("taken"),
+            BranchSpec("unpredictable", wrong_path_branches=1),
+            BranchSpec("not_taken", execute_every=2),
+        ),
+    ),
+    (
+        "k09_wrong_path_guard_t",
+        (
+            BranchSpec("taken"),
+            BranchSpec("unpredictable", wrong_path_branches=1),
+            BranchSpec("taken", execute_every=2),
+        ),
+    ),
+    (
+        "k10_unconditional",
+        (BranchSpec("taken"), BranchSpec("not_taken"), BranchSpec("uncond")),
+    ),
+    ("k11_loop_only", (BranchSpec("taken"),)),
+)
+
+
+class BranchBenchmark:
+    """The CAT branching benchmark."""
+
+    name = "branch"
+    #: Branch runs sweep the branch-adjacent core events (paper Fig. 2a:
+    #: ~140 events on SPR).
+    measured_domains: Tuple[str, ...] = (
+        EventDomain.BRANCH,
+        EventDomain.PIPELINE,
+        EventDomain.FRONTEND,
+        EventDomain.OTHER,
+    )
+    environment_noise = None
+    n_threads = 1
+
+    def __init__(self, int_ops_per_iter: float = 2.0):
+        self.int_ops_per_iter = int_ops_per_iter
+        self._kernels: List[Tuple[str, ComputeKernel]] = [
+            (
+                label,
+                ComputeKernel(name=label, int_ops=int_ops_per_iter, branches=specs),
+            )
+            for label, specs in BRANCH_KERNEL_SPECS
+        ]
+
+    def row_labels(self) -> List[str]:
+        return [label for label, _ in self._kernels]
+
+    def execute(self, machine: SimulatedCPU) -> List[List[Activity]]:
+        if not isinstance(machine, SimulatedCPU):
+            raise TypeError("the branching benchmark requires a SimulatedCPU")
+        return [[machine.run_compute(kernel)] for _, kernel in self._kernels]

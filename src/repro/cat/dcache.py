@@ -1,0 +1,119 @@
+"""CAT data-cache benchmark: multi-threaded pointer chase, size/stride sweep.
+
+Each configuration walks a randomized pointer chain once per pass; the
+buffer footprint is swept across the cache hierarchy — two sizes inside
+each of the L1, L2, L3 and memory regions — at strides of 64 B and 128 B
+with a fixed pointers-per-block of 512, matching the paper's Figure 3 axis
+(L1 | L2 | L3 | M groups repeated per stride).  Eight threads chase
+disjoint buffers to pressure the shared L3, and the analysis later takes
+the per-thread median to suppress noise (paper Sections IV/VII).
+
+Unlike the compute benchmarks, the whole run is subject to *environment*
+noise: thread interference and OS activity perturb even normally exact
+counters, which is why the paper's Figure 2d shows no zero-variability
+cluster for this benchmark and uses the lenient tau = 1e-1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.activity import Activity
+from repro.events.model import EventDomain
+from repro.hardware.cpu import CPUConfig, PointerChase, SimulatedCPU
+
+__all__ = ["DCacheBenchmark", "default_footprints"]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def default_footprints(
+    config: CPUConfig = CPUConfig(), n_threads: int = 8
+) -> List[Tuple[str, int]]:
+    """(region label, footprint bytes) pairs spanning the node's hierarchy.
+
+    Two sizes per region, derived from the machine geometry so the sweep
+    adapts to any cache configuration: a third and two-thirds of L1, an
+    eighth and a half of L2, ~0.6x and 1.0x of the per-thread share of the
+    shared L3, then 2x and 4x that share.  Sizes snap to 4 KiB so pointer
+    counts stay integral for any supported stride.  On the default
+    Sapphire Rapids geometry this reproduces the 16K/32K/256K/1M/2.5M/4M/
+    8M/16M ladder the Aurora experiments use.
+    """
+    def snap(size: float) -> int:
+        return max(4 * KIB, int(size) // (4 * KIB) * (4 * KIB))
+
+    l1 = config.l1d.size_bytes
+    l2 = config.l2.size_bytes
+    l3_share = config.l3.size_bytes // n_threads
+    return [
+        ("L1", snap(l1 / 3)),
+        ("L1", snap(l1 * 2 / 3)),
+        ("L2", snap(l2 / 8)),
+        ("L2", snap(l2 / 2)),
+        ("L3", snap(l3_share * 0.625)),
+        ("L3", snap(l3_share)),
+        ("M", snap(l3_share * 2)),
+        ("M", snap(l3_share * 4)),
+    ]
+
+
+class DCacheBenchmark:
+    """The CAT data-cache benchmark."""
+
+    name = "dcache"
+    measured_domains: Tuple[str, ...] = (
+        EventDomain.CACHE,
+        EventDomain.MEMORY,
+        EventDomain.TLB,
+        EventDomain.PIPELINE,
+    )
+    #: log-uniform per-event environment-noise sigma range (multiplicative).
+    environment_noise: Tuple[float, float] = (2e-4, 5e-3)
+
+    def __init__(
+        self,
+        strides: Sequence[int] = (64, 128),
+        footprints: Sequence[Tuple[str, int]] | None = None,
+        n_threads: int = 8,
+        pointers_per_block: int = 512,
+        cpu_config: CPUConfig | None = None,
+    ):
+        self.strides = tuple(strides)
+        if footprints is not None:
+            self.footprints = list(footprints)
+        else:
+            self.footprints = default_footprints(
+                cpu_config or CPUConfig(), n_threads=n_threads
+            )
+        self.n_threads = n_threads
+        self.pointers_per_block = pointers_per_block
+        self._rows: List[Tuple[str, str, PointerChase]] = []
+        for stride in self.strides:
+            for region, footprint in self.footprints:
+                n_pointers = footprint // stride
+                if n_pointers <= 0:
+                    raise ValueError(
+                        f"footprint {footprint} too small for stride {stride}"
+                    )
+                chase = PointerChase(
+                    n_pointers=n_pointers,
+                    stride_bytes=stride,
+                    n_threads=n_threads,
+                    pointers_per_block=pointers_per_block,
+                )
+                label = f"stride{stride}/{region}/{footprint // KIB}KiB"
+                self._rows.append((label, region, chase))
+
+    def row_labels(self) -> List[str]:
+        return [label for label, _, _ in self._rows]
+
+    def row_regions(self) -> List[str]:
+        """Region tag per row (for expectation construction and plots)."""
+        return [region for _, region, _ in self._rows]
+
+    def execute(self, machine: SimulatedCPU) -> List[List[Activity]]:
+        if not isinstance(machine, SimulatedCPU):
+            raise TypeError("the data-cache benchmark requires a SimulatedCPU")
+        return [machine.run_pointer_chase(chase) for _, _, chase in self._rows]

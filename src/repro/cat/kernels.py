@@ -1,0 +1,131 @@
+"""Shared kernel-structure definitions for the CAT benchmarks.
+
+CAT microkernels are unrolled blocks of one instruction class repeated in
+three loop sizes (paper Figure 1: 24, 48 and 96 instructions per iteration
+for the non-FMA FLOP kernels; 12, 24 and 48 for the FMA kernels).  The
+tables here are the single source of truth shared by the benchmark
+implementations (which execute them on the machines) and the expectation
+bases in :mod:`repro.core.basis` (which describe what ideal events would
+measure) — the two must agree or the analysis would be fed an inconsistent
+world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.activity import (
+    FP_PRECISIONS,
+    FP_WIDTHS,
+    VALU_PRECISIONS,
+    flops_per_instruction,
+    fp_instr_key,
+    valu_instr_key,
+)
+
+__all__ = [
+    "CPU_FLOPS_DIMENSIONS",
+    "CPU_FLOPS_LOOP_BLOCKS",
+    "CPU_FMA_LOOP_BLOCKS",
+    "FlopKernelClass",
+    "GPU_FLOPS_DIMENSIONS",
+    "GPU_FLOPS_LOOP_BLOCKS",
+    "GpuKernelClass",
+    "flops_per_instruction",
+]
+
+#: Instructions per iteration for the three loops of each non-FMA kernel.
+CPU_FLOPS_LOOP_BLOCKS: Tuple[int, ...] = (24, 48, 96)
+#: FMA kernels use half-sized blocks (paper Section III: K^256_FMA has
+#: loops of 12, 24 and 48 FMA instructions).
+CPU_FMA_LOOP_BLOCKS: Tuple[int, ...] = (12, 24, 48)
+
+#: GPU kernels share one block ladder across all operations.
+GPU_FLOPS_LOOP_BLOCKS: Tuple[int, ...] = (24, 48, 96)
+
+
+@dataclass(frozen=True)
+class FlopKernelClass:
+    """One ideal CPU floating-point dimension (a kernel and a basis column)."""
+
+    width: str  # scalar | 128 | 256 | 512
+    precision: str  # sp | dp
+    fma: bool
+
+    @property
+    def activity_key(self) -> str:
+        return fp_instr_key(self.width, self.precision, "fma" if self.fma else "nonfma")
+
+    @property
+    def symbol(self) -> str:
+        """Paper notation: S^128, D^SCAL_FMA, ..."""
+        prec = "S" if self.precision == "sp" else "D"
+        width = "SCAL" if self.width == "scalar" else self.width
+        return f"{prec}{width}_FMA" if self.fma else f"{prec}{width}"
+
+    @property
+    def kernel_name(self) -> str:
+        parts = [self.precision, self.width]
+        if self.fma:
+            parts.append("fma")
+        return "_".join(parts)
+
+    @property
+    def loop_blocks(self) -> Tuple[int, ...]:
+        return CPU_FMA_LOOP_BLOCKS if self.fma else CPU_FLOPS_LOOP_BLOCKS
+
+
+def _cpu_dimensions() -> List[FlopKernelClass]:
+    """Basis order of the paper's Table I signatures:
+    (S_SCAL, S128, S256, S512, D_SCAL, ..., D512, S_SCAL_FMA, ..., D512_FMA).
+    """
+    dims: List[FlopKernelClass] = []
+    for fma in (False, True):
+        for precision in FP_PRECISIONS:
+            for width in FP_WIDTHS:
+                dims.append(FlopKernelClass(width, precision, fma))
+    return dims
+
+
+CPU_FLOPS_DIMENSIONS: Tuple[FlopKernelClass, ...] = tuple(_cpu_dimensions())
+
+
+@dataclass(frozen=True)
+class GpuKernelClass:
+    """One ideal GPU dimension: operation x precision (paper Section III-C)."""
+
+    op: str  # add | sub | mul | trans | fma  (trans = square root kernels)
+    precision: str  # f16 | f32 | f64
+
+    @property
+    def activity_key(self) -> str:
+        return valu_instr_key(self.op, self.precision)
+
+    @property
+    def symbol(self) -> str:
+        """Paper notation: AH, SS, MD, SQH, FD, ..."""
+        op_map = {"add": "A", "sub": "S", "mul": "M", "trans": "SQ", "fma": "F"}
+        prec_map = {"f16": "H", "f32": "S", "f64": "D"}
+        return f"{op_map[self.op]}{prec_map[self.precision]}"
+
+    @property
+    def kernel_name(self) -> str:
+        op_map = {"add": "add", "sub": "sub", "mul": "mul", "trans": "sqrt", "fma": "fma"}
+        return f"{op_map[self.op]}_{self.precision}"
+
+    @property
+    def ops_per_instruction(self) -> int:
+        return 2 if self.op == "fma" else 1
+
+
+def _gpu_dimensions() -> List[GpuKernelClass]:
+    """Basis order of the paper's Table II: (AH, AS, AD, SH, ..., FD)."""
+    dims: List[GpuKernelClass] = []
+    for op in ("add", "sub", "mul", "trans", "fma"):
+        for precision in VALU_PRECISIONS:
+            dims.append(GpuKernelClass(op, precision))
+    return dims
+
+
+GPU_FLOPS_DIMENSIONS: Tuple[GpuKernelClass, ...] = tuple(_gpu_dimensions())

@@ -1,0 +1,140 @@
+"""Benchmark runner: benchmark x events x repetitions -> MeasurementSet.
+
+The runner is CAT's measurement loop: it executes a benchmark's kernels on
+a node's machine (once — the simulated activity is the ground truth shared
+by all repetitions), schedules the requested events onto the PMU's limited
+counters, and produces per-repetition readings by pushing the activity
+through each event's response and noise model.
+
+Reproducibility contract: each event's noise draws come from one generator
+stream seeded by ``(node seed, event name CRC)``, consumed in
+``(repetition, thread, row)`` order, so (a) re-running the same
+configuration is bit-identical, (b) deterministic events are *exactly*
+identical across repetitions (their max RNMSE is exactly zero, the Fig. 2
+zero-noise cluster), (c) noisy events differ per repetition, and (d) noise
+decorrelates across rows and threads.  Per-event batching keeps generator
+construction off the hot path — the measurement loop is matmul-and-draw,
+not 10^5 generator constructions (see ``docs/substrate.md``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.activity import Activity
+from repro.cat.measurement import MeasurementSet
+from repro.events.catalogs._builders import log_uniform_sigma
+from repro.events.model import RawEvent
+from repro.events.registry import EventRegistry
+from repro.hardware.systems import MachineNode
+
+__all__ = ["BenchmarkRunner", "CATBenchmark"]
+
+
+class CATBenchmark(Protocol):
+    """Structural interface every CAT benchmark provides."""
+
+    name: str
+    measured_domains: Sequence[str]
+    environment_noise: Optional[tuple]
+    n_threads: int
+
+    def row_labels(self) -> list: ...
+
+    def execute(self, machine) -> list: ...
+
+
+class BenchmarkRunner:
+    """Collects measurements of a benchmark over multiple repetitions."""
+
+    def __init__(self, node: MachineNode, repetitions: int = 5):
+        if repetitions < 2:
+            raise ValueError(
+                "the noise analysis needs at least two repetitions to "
+                "compute pairwise RNMSE"
+            )
+        self.node = node
+        self.repetitions = repetitions
+
+    def select_events(self, benchmark: CATBenchmark) -> EventRegistry:
+        """The events a blind sweep measures for this benchmark."""
+        return self.node.events.select(domains=tuple(benchmark.measured_domains))
+
+    def _rng(self, event_name: str) -> np.random.Generator:
+        """The event's measurement-noise stream for this node seed."""
+        crc = zlib.crc32(event_name.encode())
+        return np.random.default_rng((self.node.seed, crc))
+
+    def run(
+        self,
+        benchmark: CATBenchmark,
+        events: Optional[EventRegistry] = None,
+    ) -> MeasurementSet:
+        """Measure ``events`` (default: the benchmark's domain sweep)."""
+        registry = events if events is not None else self.select_events(benchmark)
+        event_list = list(registry)
+        if not event_list:
+            raise ValueError(f"no events selected for benchmark {benchmark.name!r}")
+
+        activities = benchmark.execute(self.node.machine)
+        n_rows = len(activities)
+        n_threads = max(len(row) for row in activities)
+        if any(len(row) != n_threads for row in activities):
+            raise ValueError("ragged thread counts across benchmark rows")
+
+        # The PMU schedule determines how many times the workload must run
+        # to cover all events; recorded for realism and diagnostics.
+        schedule = self.node.pmu.schedule(event_list)
+
+        env_sigmas = None
+        if benchmark.environment_noise is not None:
+            lo, hi = benchmark.environment_noise
+            env_sigmas = np.array(
+                [
+                    log_uniform_sigma(e.full_name, lo, hi, salt=f"env:{benchmark.name}")
+                    for e in event_list
+                ]
+            )
+
+        # True counts depend only on (row, thread, event) — hoist them out
+        # of the repetition loop (the activity is the shared ground truth
+        # of every repetition; only the noise draws differ).
+        true_counts = np.zeros((n_threads, n_rows, len(event_list)))
+        for thread in range(n_threads):
+            for row, row_acts in enumerate(activities):
+                activity: Activity = row_acts[thread]
+                for j, event in enumerate(event_list):
+                    true_counts[thread, row, j] = event.true_count(activity)
+
+        data = np.zeros((self.repetitions, n_threads, n_rows, len(event_list)))
+        quiet_run = env_sigmas is None
+        batch_shape = (self.repetitions, n_threads, n_rows)
+        for j, event in enumerate(event_list):
+            if event.noise.is_deterministic and quiet_run:
+                # Bit-identical across repetitions: broadcast once.
+                data[:, :, :, j] = true_counts[:, :, j][None, :, :]
+                continue
+            # One stream per (node seed, event): all of this event's draws
+            # for the sweep come from it in (rep, thread, row) order.
+            rng = self._rng(event.full_name)
+            tiled = np.broadcast_to(true_counts[:, :, j], batch_shape)
+            readings = event.noise.apply_batch(tiled, rng)
+            if not quiet_run:
+                readings = readings * (
+                    1.0 + rng.normal(0.0, float(env_sigmas[j]), batch_shape)
+                )
+                np.maximum(readings, 0.0, out=readings)
+            data[:, :, :, j] = readings
+
+        measurement = MeasurementSet(
+            benchmark=benchmark.name,
+            row_labels=benchmark.row_labels(),
+            event_names=[e.full_name for e in event_list],
+            data=data,
+        )
+        # Attach scheduling metadata (how many hardware runs were needed).
+        measurement.pmu_runs = schedule.n_runs  # type: ignore[attr-defined]
+        return measurement

@@ -1,0 +1,199 @@
+"""Command-line driver: run the analysis for a domain and print the paper-
+style artifacts.
+
+Usage::
+
+    repro-cat run  --domain branch                  # pipeline + metric table
+    repro-cat noise --domain dcache                 # Fig 2-style variability plot
+    repro-cat list-events --system aurora --prefix BR_
+    repro-cat run --domain cpu_flops --save-presets presets.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.pipeline import AnalysisPipeline, DOMAIN_CONFIGS, PipelineConfig
+from repro.hardware.systems import aurora_node, frontier_node
+from repro.io.store import save_presets
+from repro.viz.ascii import log_scatter
+from repro.viz.series import fig2_series
+
+__all__ = ["main"]
+
+_DOMAIN_SYSTEM = {
+    "cpu_flops": "aurora",
+    "branch": "aurora",
+    "dcache": "aurora",
+    "dtlb": "aurora",
+    "gpu_flops": "frontier",
+}
+
+
+def _node(system: str, seed: int):
+    if system == "aurora":
+        return aurora_node(seed=seed)
+    if system == "frontier":
+        return frontier_node(seed=seed)
+    raise SystemExit(f"unknown system {system!r}; expected aurora or frontier")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cat",
+        description="Automated definition of performance metrics from raw "
+        "hardware events (IPDPSW'24 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the full analysis for a domain")
+    run.add_argument("--domain", required=True, choices=sorted(DOMAIN_CONFIGS))
+    run.add_argument("--seed", type=int, default=2024)
+    run.add_argument("--tau", type=float, default=None, help="noise threshold")
+    run.add_argument("--alpha", type=float, default=None, help="QRCP tolerance")
+    run.add_argument("--repetitions", type=int, default=None)
+    run.add_argument("--rounded", action="store_true", help="show rounded coefficients")
+    run.add_argument("--save-presets", metavar="PATH", default=None)
+
+    noise = sub.add_parser("noise", help="Fig 2-style variability plot")
+    noise.add_argument("--domain", required=True, choices=sorted(DOMAIN_CONFIGS))
+    noise.add_argument("--seed", type=int, default=2024)
+
+    report = sub.add_parser(
+        "report", help="full paper-style markdown report for a domain"
+    )
+    report.add_argument("--domain", required=True, choices=sorted(DOMAIN_CONFIGS))
+    report.add_argument("--seed", type=int, default=2024)
+    report.add_argument("--output", metavar="PATH", default=None)
+    report.add_argument(
+        "--auto-thresholds",
+        action="store_true",
+        help="derive tau and alpha from the data (Section-VII extension) "
+        "instead of the paper's constants",
+    )
+
+    presets = sub.add_parser(
+        "presets", help="derive the full preset table for a system"
+    )
+    presets.add_argument("--system", required=True, choices=("aurora", "frontier"))
+    presets.add_argument("--seed", type=int, default=2024)
+    presets.add_argument("--output", metavar="PATH", default=None)
+
+    listing = sub.add_parser("list-events", help="enumerate catalog events")
+    listing.add_argument("--system", required=True, choices=("aurora", "frontier"))
+    listing.add_argument("--prefix", default=None)
+    listing.add_argument("--seed", type=int, default=2024)
+    return parser
+
+
+def _config_for(args) -> PipelineConfig:
+    base = DOMAIN_CONFIGS[args.domain]
+    overrides = {}
+    if getattr(args, "tau", None) is not None:
+        overrides["tau"] = args.tau
+    if getattr(args, "alpha", None) is not None:
+        overrides["alpha"] = args.alpha
+    if getattr(args, "repetitions", None) is not None:
+        overrides["repetitions"] = args.repetitions
+    if not overrides:
+        return base
+    from dataclasses import replace
+
+    return replace(base, **overrides)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like any
+        # well-behaved CLI.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list-events":
+        node = _node(args.system, args.seed)
+        for name in node.events.select(prefix=args.prefix).full_names:
+            print(name)
+        return 0
+
+    if args.command == "presets":
+        from repro.core.derive import derive_presets
+
+        node = _node(args.system, args.seed)
+        report = derive_presets(node)
+        print(report.summary())
+        if args.output:
+            path = save_presets(report.presets, args.output)
+            print(f"\npresets written to {path}")
+        return 0
+
+    node = _node(_DOMAIN_SYSTEM[args.domain], args.seed)
+
+    if args.command == "noise":
+        pipeline = AnalysisPipeline.for_domain(args.domain, node)
+        result = pipeline.run()
+        series = fig2_series(result.noise)
+        print(
+            log_scatter(
+                series.values,
+                threshold=series.tau,
+                title=f"Sorted event variabilities — {args.domain} on {node.name}",
+            )
+        )
+        return 0
+
+    if args.command == "report":
+        from dataclasses import replace
+
+        from repro.core.report import render_report, write_report
+        from repro.core.thresholds import select_alpha, select_tau
+
+        pipeline = AnalysisPipeline.for_domain(args.domain, node)
+        result = pipeline.run()
+        if args.auto_thresholds:
+            tau_sel = select_tau(list(result.noise.variabilities.values()))
+            alpha_sel = select_alpha(result.representation.x_matrix)
+            auto_config = replace(
+                DOMAIN_CONFIGS[args.domain], tau=tau_sel.tau, alpha=alpha_sel.alpha
+            )
+            print(
+                f"auto thresholds: tau={tau_sel.tau:.3e} ({tau_sel.method}), "
+                f"alpha={alpha_sel.alpha:.3e} "
+                f"(plateau {alpha_sel.plateau_low:.1e}..{alpha_sel.plateau_high:.1e})"
+            )
+            result = AnalysisPipeline.for_domain(
+                args.domain, node, config=auto_config
+            ).run(measurement=result.measurement)
+        if args.output:
+            path = write_report(result, args.output)
+            print(f"report written to {path}")
+        else:
+            print(render_report(result))
+        return 0
+
+    # command == "run"
+    pipeline = AnalysisPipeline.for_domain(args.domain, node, config=_config_for(args))
+    result = pipeline.run()
+    print(result.summary())
+    print()
+    metrics = result.rounded_metrics if args.rounded else result.metrics
+    for metric in metrics.values():
+        print(metric.pretty())
+        print()
+    if args.save_presets:
+        path = save_presets(result.presets, args.save_presets)
+        print(f"presets written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

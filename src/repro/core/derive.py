@@ -1,0 +1,84 @@
+"""One-call preset derivation for a whole node.
+
+The operational end product the paper motivates: given an architecture,
+produce its complete PAPI preset table automatically.  :func:`derive_presets`
+runs every applicable benchmark domain on the node, merges the resulting
+preset definitions, and reports what could not be composed — the file a
+PAPI maintainer would ship, plus the honest list of gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import AnalysisPipeline, PipelineConfig, PipelineResult
+from repro.hardware.systems import MachineNode
+from repro.papi.presets import PresetTable
+
+__all__ = ["DerivationReport", "applicable_domains", "derive_presets"]
+
+_CPU_DOMAINS = ("cpu_flops", "branch", "dcache", "dtlb")
+_GPU_DOMAINS = ("gpu_flops",)
+
+
+def applicable_domains(node: MachineNode) -> Tuple[str, ...]:
+    """The benchmark domains a node's machine type can run."""
+    return _GPU_DOMAINS if node.is_gpu else _CPU_DOMAINS
+
+
+@dataclass
+class DerivationReport:
+    """Everything one derivation run produced."""
+
+    node: str
+    presets: PresetTable
+    results: Dict[str, PipelineResult]
+    uncomposable: List[Tuple[str, str, float]]  # (domain, metric, error)
+
+    def summary(self) -> str:
+        lines = [
+            f"derived {len(self.presets)} presets for {self.node} "
+            f"from {len(self.results)} benchmark domains"
+        ]
+        for preset in self.presets:
+            lines.append(f"  {preset.pretty()}")
+        if self.uncomposable:
+            lines.append("not composable on this architecture:")
+            for domain, metric, error in self.uncomposable:
+                lines.append(f"  [{domain}] {metric}  (error {error:.2e})")
+        return "\n".join(lines)
+
+
+def derive_presets(
+    node: MachineNode,
+    domains: Optional[Sequence[str]] = None,
+    configs: Optional[Dict[str, PipelineConfig]] = None,
+) -> DerivationReport:
+    """Run the full analysis for every domain and merge the presets.
+
+    ``configs`` optionally overrides per-domain thresholds.  If two domains
+    derive a preset of the same name (they do not, with the shipped
+    signature tables), the better-fitting definition wins.
+    """
+    domains = tuple(domains) if domains is not None else applicable_domains(node)
+    configs = configs or {}
+    merged = PresetTable(architecture=node.name)
+    results: Dict[str, PipelineResult] = {}
+    uncomposable: List[Tuple[str, str, float]] = []
+    for domain in domains:
+        pipeline = AnalysisPipeline.for_domain(
+            domain, node, config=configs.get(domain)
+        )
+        result = pipeline.run()
+        results[domain] = result
+        for preset in result.presets:
+            if preset.name in merged and merged.get(preset.name).fitness <= preset.fitness:
+                continue
+            merged.define(preset)
+        for name, metric in result.metrics.items():
+            if not metric.composable:
+                uncomposable.append((domain, name, metric.error))
+    return DerivationReport(
+        node=node.name, presets=merged, results=results, uncomposable=uncomposable
+    )

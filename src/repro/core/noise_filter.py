@@ -1,0 +1,112 @@
+"""Noise analysis: max-RNMSE variability and threshold filtering.
+
+Paper Section IV.  For every event, the measurement vectors of the
+benchmark's repetitions are compared pairwise with the root normalized
+mean-square error
+
+    RNMSE(m_i, m_j) = ||m_i - m_j||_2 / sqrt(N * mean(m_i) * mean(m_j))
+
+and the maximum over pairs is the event's variability.  Degenerate cases
+follow the paper exactly: if one of the two means is zero the pair's
+variability is defined as 1 (a 100% error); an event whose every
+measurement is zero is discarded as irrelevant (footnote 1) rather than
+scored.  Events with variability above the threshold ``tau`` are dropped
+from further analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cat.measurement import MeasurementSet
+
+__all__ = ["NoiseReport", "max_rnmse", "analyze_noise"]
+
+
+def max_rnmse(vectors: np.ndarray) -> float:
+    """Maximum pairwise RNMSE over per-repetition measurement vectors.
+
+    ``vectors`` has shape ``(repetitions, rows)``.  All-zero inputs are the
+    caller's responsibility (they are discarded before scoring).
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2 or vectors.shape[0] < 2:
+        raise ValueError(
+            f"need a (repetitions >= 2, rows) array, got shape {vectors.shape}"
+        )
+    reps, n = vectors.shape
+    means = vectors.mean(axis=1)
+    # Pairwise squared distances via the Gram matrix (no Python pair loop).
+    gram = vectors @ vectors.T
+    sq_norms = np.diag(gram)
+    dist_sq = sq_norms[:, None] + sq_norms[None, :] - 2.0 * gram
+    np.maximum(dist_sq, 0.0, out=dist_sq)
+
+    mean_products = means[:, None] * means[None, :]
+    iu = np.triu_indices(reps, k=1)
+    dists = np.sqrt(dist_sq[iu])
+    products = mean_products[iu]
+
+    values = np.empty_like(dists)
+    degenerate = products <= 0.0
+    values[degenerate] = 1.0  # paper: zero-mean pair -> variability 1
+    ok = ~degenerate
+    values[ok] = dists[ok] / np.sqrt(n * products[ok])
+    # Identical vectors with degenerate products would still be flagged 1,
+    # except the all-zero case is excluded before this function; a pair of
+    # bit-identical nonzero vectors has dist 0 and positive product -> 0.
+    return float(values.max())
+
+
+@dataclass
+class NoiseReport:
+    """Outcome of the Section-IV analysis for one benchmark run."""
+
+    benchmark: str
+    tau: float
+    variabilities: Dict[str, float]  # event -> max RNMSE (zero-mean rule applied)
+    kept: List[str]
+    noisy: List[str]  # above tau
+    discarded_zero: List[str]  # all-zero measurements (footnote 1)
+
+    def sorted_variabilities(self) -> List[Tuple[str, float]]:
+        """(event, variability) sorted ascending — the Fig. 2 series."""
+        return sorted(self.variabilities.items(), key=lambda kv: (kv[1], kv[0]))
+
+    @property
+    def n_measured(self) -> int:
+        return len(self.variabilities) + len(self.discarded_zero)
+
+
+def analyze_noise(measurement: MeasurementSet, tau: float) -> NoiseReport:
+    """Score every measured event and split by the noise threshold.
+
+    Thread dimensions are collapsed by the median before scoring (the
+    paper's cache de-noising); repetitions remain separate — they are what
+    the RNMSE compares.
+    """
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    variabilities: Dict[str, float] = {}
+    kept: List[str] = []
+    noisy: List[str] = []
+    discarded: List[str] = []
+    for event in measurement.event_names:
+        vectors = measurement.repetition_vectors(event)
+        if not vectors.any():
+            discarded.append(event)
+            continue
+        value = max_rnmse(vectors)
+        variabilities[event] = value
+        (kept if value <= tau else noisy).append(event)
+    return NoiseReport(
+        benchmark=measurement.benchmark,
+        tau=tau,
+        variabilities=variabilities,
+        kept=kept,
+        noisy=noisy,
+        discarded_zero=discarded,
+    )

@@ -1,0 +1,253 @@
+"""The end-to-end analysis pipeline.
+
+Ties the paper's stages together, in order:
+
+1. **Measure** (Section III): run a CAT benchmark over repetitions,
+   reading every in-scope raw event through the PMU.
+2. **De-noise values** (Sections IV/VII): collapse threads by median.
+3. **Discard irrelevant events**: all-zero measurements (footnote 1).
+4. **Filter noisy events** (Section IV): max-RNMSE vs the threshold tau.
+5. **Represent** (Section III-B): project measurement vectors onto the
+   expectation basis; reject events with large residual.
+6. **Select** (Section V): specialized QRCP with tolerance alpha picks a
+   linearly independent, expectation-aligned subset X-hat.
+7. **Compose** (Section VI): least-squares fit of each metric signature
+   over X-hat, with the Equation-5 backward error as fitness; coefficients
+   optionally rounded (Section VI-D).
+8. **Emit** PAPI-style preset definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cat import (
+    BenchmarkRunner,
+    BranchBenchmark,
+    CPUFlopsBenchmark,
+    DCacheBenchmark,
+    GPUFlopsBenchmark,
+    MeasurementSet,
+)
+from repro.core.basis import (
+    ExpectationBasis,
+    branch_basis,
+    cpu_flops_basis,
+    dcache_basis,
+    dtlb_basis,
+    gpu_flops_basis,
+)
+from repro.core.metrics import MetricDefinition, compose_metric, round_coefficients
+from repro.core.noise_filter import NoiseReport, analyze_noise
+from repro.core.qrcp import QRCPResult, qrcp_specialized
+from repro.core.representation import RepresentationReport, represent_events
+from repro.core.signatures import Signature, signatures_for
+from repro.events.registry import EventRegistry
+from repro.hardware.systems import MachineNode
+from repro.papi.presets import PresetTable
+
+__all__ = ["AnalysisPipeline", "PipelineConfig", "PipelineResult"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Stage thresholds (paper values per domain via ``for_domain``)."""
+
+    tau: float = 1e-10  # noise threshold (Section IV)
+    alpha: float = 5e-4  # QRCP rounding tolerance (Section V)
+    representation_threshold: float = 1e-6  # relative residual cap (III-B)
+    repetitions: int = 5
+    round_snap_tol: float = 0.05  # Section VI-D coefficient snapping
+    round_zero_tol: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0 or self.alpha <= 0 or self.representation_threshold <= 0:
+            raise ValueError("thresholds must be positive")
+        if self.repetitions < 2:
+            raise ValueError("need at least two repetitions")
+
+
+#: Paper-stated thresholds per benchmark domain.
+DOMAIN_CONFIGS: Dict[str, PipelineConfig] = {
+    "cpu_flops": PipelineConfig(tau=1e-10, alpha=5e-4),
+    "gpu_flops": PipelineConfig(tau=1e-10, alpha=5e-4),
+    "branch": PipelineConfig(tau=1e-10, alpha=5e-4),
+    "dcache": PipelineConfig(tau=1e-1, alpha=5e-2, representation_threshold=0.25),
+    # Extension domain: translation events share the cache noise regime.
+    "dtlb": PipelineConfig(tau=1e-1, alpha=5e-2, representation_threshold=0.25),
+}
+
+
+@dataclass
+class PipelineResult:
+    """Everything the analysis produced, stage by stage."""
+
+    domain: str
+    config: PipelineConfig
+    measurement: MeasurementSet
+    noise: NoiseReport
+    representation: RepresentationReport
+    qrcp: QRCPResult
+    selected_events: List[str]
+    x_hat: np.ndarray
+    metrics: Dict[str, MetricDefinition]
+    rounded_metrics: Dict[str, MetricDefinition]
+    presets: PresetTable
+
+    def metric(self, name: str) -> MetricDefinition:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise KeyError(
+                f"metric {name!r} not composed; available: {sorted(self.metrics)}"
+            ) from None
+
+    def summary(self) -> str:
+        lines = [
+            f"domain: {self.domain}",
+            f"events measured: {self.noise.n_measured}",
+            f"  all-zero (discarded): {len(self.noise.discarded_zero)}",
+            f"  noisy (> tau={self.config.tau:g}): {len(self.noise.noisy)}",
+            f"  unrepresentable (> {self.config.representation_threshold:g}): "
+            f"{len(self.representation.rejected)}",
+            f"selected by QRCP (alpha={self.config.alpha:g}): "
+            f"{len(self.selected_events)}",
+        ]
+        for name in self.selected_events:
+            lines.append(f"  {name}")
+        lines.append("metrics:")
+        for metric in self.metrics.values():
+            status = "ok" if metric.composable else "NOT COMPOSABLE"
+            lines.append(f"  {metric.metric:<40} error {metric.error:.2e}  [{status}]")
+        return "\n".join(lines)
+
+
+class AnalysisPipeline:
+    """Configured, reusable analysis for one benchmark domain on one node."""
+
+    def __init__(
+        self,
+        node: MachineNode,
+        benchmark,
+        basis: ExpectationBasis,
+        signatures: Sequence[Signature],
+        config: PipelineConfig = PipelineConfig(),
+        events: Optional[EventRegistry] = None,
+    ):
+        self.node = node
+        self.benchmark = benchmark
+        self.basis = basis
+        self.signatures = list(signatures)
+        self.config = config
+        self.events = events
+        if tuple(benchmark.row_labels()) != tuple(basis.row_labels):
+            raise ValueError(
+                "benchmark kernel rows do not match the expectation basis rows; "
+                "the analysis would compare incommensurate vectors"
+            )
+
+    @classmethod
+    def for_domain(
+        cls,
+        domain: str,
+        node: MachineNode,
+        config: Optional[PipelineConfig] = None,
+        **benchmark_kwargs,
+    ) -> "AnalysisPipeline":
+        """Standard wiring for the paper's four benchmark domains."""
+        if domain == "cpu_flops":
+            benchmark = CPUFlopsBenchmark(**benchmark_kwargs)
+            basis = cpu_flops_basis()
+        elif domain == "gpu_flops":
+            benchmark = GPUFlopsBenchmark(**benchmark_kwargs)
+            basis = gpu_flops_basis()
+        elif domain == "branch":
+            benchmark = BranchBenchmark(**benchmark_kwargs)
+            basis = branch_basis()
+        elif domain == "dcache":
+            # The footprint sweep adapts to the node's cache geometry.
+            benchmark_kwargs.setdefault("cpu_config", getattr(node.machine, "config", None))
+            benchmark = DCacheBenchmark(**benchmark_kwargs)
+            basis = dcache_basis(benchmark)
+        elif domain == "dtlb":
+            from repro.cat.dtlb import DTLBBenchmark
+
+            config_obj = getattr(node.machine, "config", None)
+            if config_obj is not None:
+                benchmark_kwargs.setdefault("tlb_config", config_obj.tlb)
+            benchmark = DTLBBenchmark(**benchmark_kwargs)
+            basis = dtlb_basis(benchmark)
+        else:
+            raise KeyError(
+                f"unknown domain {domain!r}; expected one of "
+                "cpu_flops, gpu_flops, branch, dcache, dtlb"
+            )
+        return cls(
+            node=node,
+            benchmark=benchmark,
+            basis=basis,
+            signatures=signatures_for(domain),
+            config=config or DOMAIN_CONFIGS[domain],
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, measurement: Optional[MeasurementSet] = None) -> PipelineResult:
+        """Execute all stages; ``measurement`` may be injected (e.g. from
+        disk) to skip the benchmark run."""
+        config = self.config
+        if measurement is None:
+            runner = BenchmarkRunner(self.node, repetitions=config.repetitions)
+            measurement = runner.run(self.benchmark, events=self.events)
+
+        # Stages 2-4: thread median happens inside the noise analysis and
+        # measurement matrix; zero discard + tau filter:
+        noise = analyze_noise(measurement, tau=config.tau)
+
+        surviving = measurement.select_events(noise.kept)
+        matrix = surviving.measurement_matrix()
+
+        representation = represent_events(
+            self.basis, noise.kept, matrix, config.representation_threshold
+        )
+
+        qrcp = qrcp_specialized(representation.x_matrix, alpha=config.alpha)
+        selected_idx = qrcp.selected
+        selected_events = [representation.event_names[i] for i in selected_idx]
+        x_hat = representation.x_matrix[:, selected_idx]
+
+        metrics: Dict[str, MetricDefinition] = {}
+        rounded: Dict[str, MetricDefinition] = {}
+        presets = PresetTable(architecture=self.node.name)
+        for signature in self.signatures:
+            definition = compose_metric(
+                signature.name, x_hat, selected_events, signature
+            )
+            metrics[signature.name] = definition
+            snapped = round_coefficients(
+                definition,
+                x_hat=x_hat,
+                snap_tol=config.round_snap_tol,
+                zero_tol=config.round_zero_tol,
+            )
+            rounded[signature.name] = snapped
+            if definition.composable:
+                # Presets carry the snapped coefficients (Section VI-D):
+                # consumers want 1*EVENT, not 1.00001*EVENT - 3e-16*OTHER.
+                presets.define(snapped.as_preset())
+
+        return PipelineResult(
+            domain=self.basis.name,
+            config=config,
+            measurement=measurement,
+            noise=noise,
+            representation=representation,
+            qrcp=qrcp,
+            selected_events=selected_events,
+            x_hat=x_hat,
+            metrics=metrics,
+            rounded_metrics=rounded,
+            presets=presets,
+        )

@@ -1,0 +1,140 @@
+"""Column-pivoted QR factorizations: standard (Algorithm 1) and the paper's
+specialized pivoting scheme (Algorithm 2).
+
+Both drive the in-house incremental Householder QR.  The difference is the
+pivot rule:
+
+* **Standard QRCP** picks the trailing column of largest residual norm —
+  the numerically natural choice, but exactly wrong for event analysis:
+  high-magnitude irrelevant columns (cycles-like events) win the pivots.
+* **Specialized QRCP** (paper Algorithm 2) scores candidate columns by
+  closeness to the expectation-basis dimensions after rounding with the
+  noise tolerance ``alpha`` (see :mod:`repro.core.rounding`), picks the
+  minimum score, breaks ties by smaller column norm and then by original
+  column order, skips candidates whose trailing residual norm falls below
+  ``beta = ||(alpha, ..., alpha)||`` (columns that are noise-level or
+  already explained by chosen columns), and terminates when no eligible
+  candidate remains.
+
+Design choices the paper leaves open, fixed here and exercised by the
+ablation benchmarks:
+
+* Scores are recomputed each iteration on the *updated* (partially
+  factorized) working matrix, so directions already explained cannot
+  attract further pivots; rounding feeds only the scores — the
+  factorization itself proceeds on unrounded values.
+* The beta cutoff applies to the trailing-row residual norm (rows i:),
+  which is the orthogonal distance to the span of the chosen columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.rounding import score_columns
+from repro.linalg.householder import HouseholderQR
+
+__all__ = ["QRCPResult", "qrcp_specialized", "qrcp_standard"]
+
+
+@dataclass(frozen=True)
+class QRCPResult:
+    """Outcome of a column-pivoted QR factorization.
+
+    Attributes
+    ----------
+    permutation:
+        Column indices of the input matrix in pivot order; the first
+        ``rank`` entries are the selected (independent) columns.
+    rank:
+        Number of pivots performed before termination.
+    r_factor:
+        The ``(rank, n)`` upper-trapezoidal R of the permuted matrix.
+    """
+
+    permutation: np.ndarray
+    rank: int
+    r_factor: np.ndarray
+
+    @property
+    def selected(self) -> np.ndarray:
+        """Input-matrix column indices chosen as linearly independent."""
+        return self.permutation[: self.rank].copy()
+
+
+def qrcp_standard(x: np.ndarray, tol: float = 1e-10) -> QRCPResult:
+    """Algorithm 1: QRCP with largest-residual-norm pivoting.
+
+    Stops when the largest trailing residual norm drops below ``tol``
+    times the largest original column norm (numerical rank detection).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {x.shape}")
+    m, n = x.shape
+    fact = HouseholderQR(x)
+    perm = np.arange(n)
+    norms0 = np.sqrt(np.einsum("ij,ij->j", x, x))
+    scale = norms0.max() if n else 0.0
+    rank = 0
+    for i in range(min(m, n)):
+        residual_norms = fact.trailing_column_norms()
+        j_rel = int(np.argmax(residual_norms))
+        if residual_norms[j_rel] <= tol * max(scale, 1.0):
+            break
+        j = i + j_rel
+        fact.swap_columns(i, j)
+        perm[[i, j]] = perm[[j, i]]
+        fact.step()
+        rank += 1
+    r = np.triu(fact.a[:rank, :]) if rank else np.zeros((0, n))
+    return QRCPResult(permutation=perm, rank=rank, r_factor=r)
+
+
+def qrcp_specialized(x: np.ndarray, alpha: float) -> QRCPResult:
+    """Algorithm 2: QRCP with the expectation-closeness pivoting scheme."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected a matrix, got shape {x.shape}")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    m, n = x.shape
+    beta = alpha * np.sqrt(m)  # norm of the all-alpha vector
+
+    fact = HouseholderQR(x)
+    perm = np.arange(n)
+    rank = 0
+    for i in range(min(m, n)):
+        pivot = _get_pivot(fact, i, alpha, beta)
+        if pivot < 0:
+            break
+        fact.swap_columns(i, pivot)
+        perm[[i, pivot]] = perm[[pivot, i]]
+        fact.step()
+        rank += 1
+    r = np.triu(fact.a[:rank, :]) if rank else np.zeros((0, n))
+    return QRCPResult(permutation=perm, rank=rank, r_factor=r)
+
+
+def _get_pivot(fact: HouseholderQR, i: int, alpha: float, beta: float) -> int:
+    """The paper's ``get_pivot``: minimum score, tie-broken by norm then
+    position; -1 when every candidate is below the beta cutoff."""
+    n = fact.n
+    if i >= n:
+        return -1
+    residual_norms = fact.trailing_column_norms()  # over columns i:
+    eligible = residual_norms >= beta
+    if not eligible.any():
+        return -1
+    candidates = fact.a[:, i:]
+    scores = score_columns(candidates, alpha)
+    scores = np.where(eligible, scores, np.inf)
+    best_score = scores.min()
+    tied = np.flatnonzero(scores == best_score)
+    if tied.size > 1:
+        tied_norms = residual_norms[tied]
+        tied = tied[tied_norms == tied_norms.min()]
+    return i + int(tied[0])

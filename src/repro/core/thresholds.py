@@ -1,0 +1,290 @@
+"""Automatic threshold selection and alternative noise measures.
+
+The paper's Section VII names its future work: "methods to develop
+different measures to quantify event noise and more rigorously select
+noise suppression thresholds and pivoting criteria."  This module
+implements that program:
+
+* **Alternative variability measures** alongside max-RNMSE (Equation 4):
+
+  - :func:`max_relative_range` — worst-case per-row spread relative to the
+    per-row mean; more sensitive to single-row glitches than the
+    norm-based RNMSE.
+  - :func:`coefficient_of_variation` — the classic std/mean aggregated
+    over rows; smooth, but underweights rare spikes.
+  - :func:`mad_variability` — a median-absolute-deviation measure that is
+    robust to one corrupted repetition (an SMI landing in one run), where
+    max-RNMSE saturates.
+
+* **Automatic tau selection** (:func:`select_tau`) — finds the widest gap
+  in the sorted log-variability sequence (the paper picks tau by eyeballing
+  exactly this gap in Figure 2) and places the threshold at its geometric
+  midpoint; degenerate distributions fall back to a quantile rule.
+
+* **Automatic alpha selection** (:func:`select_alpha`) — sweeps the QRCP
+  tolerance across decades, enumerates the plateaus on which the selected
+  column set is stable, and picks the plateau whose selection scores most
+  like clean expectation-basis dimensions (the paper's Section V-E
+  observation — "a wide range of values for alpha" works — made
+  algorithmic, with a guard against the noise-floor plateau where
+  measurement noise masquerades as linear independence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.qrcp import qrcp_specialized
+from repro.core.rounding import score_columns
+
+__all__ = [
+    "AlphaSelection",
+    "TauSelection",
+    "coefficient_of_variation",
+    "mad_variability",
+    "max_relative_range",
+    "select_alpha",
+    "select_tau",
+    "variability_measures",
+]
+
+
+# ---------------------------------------------------------------------------
+# Alternative variability measures
+# ---------------------------------------------------------------------------
+
+def _validate(vectors: np.ndarray) -> np.ndarray:
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim != 2 or vectors.shape[0] < 2:
+        raise ValueError(
+            f"need a (repetitions >= 2, rows) array, got shape {vectors.shape}"
+        )
+    return vectors
+
+
+def max_relative_range(vectors: np.ndarray) -> float:
+    """Worst per-row spread relative to the per-row mean.
+
+    ``max_r (max_i m_ir - min_i m_ir) / |mean_i m_ir|``; rows whose mean is
+    zero but whose spread is not score 1 (mirroring Equation 4's
+    degenerate-pair rule); rows identically zero contribute 0.
+    """
+    vectors = _validate(vectors)
+    spread = vectors.max(axis=0) - vectors.min(axis=0)
+    means = np.abs(vectors.mean(axis=0))
+    out = np.zeros_like(spread)
+    live = means > 0.0
+    out[live] = spread[live] / means[live]
+    out[(~live) & (spread > 0.0)] = 1.0
+    return float(out.max()) if out.size else 0.0
+
+
+def coefficient_of_variation(vectors: np.ndarray) -> float:
+    """Root-mean aggregated per-row coefficient of variation.
+
+    ``sqrt(mean_r (std_i m_ir / mean_i m_ir)^2)`` over rows with nonzero
+    mean; degenerate rows handled as in :func:`max_relative_range`.
+    """
+    vectors = _validate(vectors)
+    stds = vectors.std(axis=0)
+    means = np.abs(vectors.mean(axis=0))
+    cv_sq = np.zeros_like(stds)
+    live = means > 0.0
+    cv_sq[live] = (stds[live] / means[live]) ** 2
+    cv_sq[(~live) & (stds > 0.0)] = 1.0
+    return float(np.sqrt(cv_sq.mean())) if cv_sq.size else 0.0
+
+
+def mad_variability(vectors: np.ndarray) -> float:
+    """Median-absolute-deviation variability, robust to one bad repetition.
+
+    Per row, the MAD of the repetitions around their median, normalized by
+    the |median|; the measure is the maximum over rows.  A single corrupted
+    repetition (which drives max-RNMSE to its spread) leaves the per-row
+    median and MAD nearly unchanged.
+    """
+    vectors = _validate(vectors)
+    med = np.median(vectors, axis=0)
+    mad = np.median(np.abs(vectors - med[None, :]), axis=0)
+    out = np.zeros_like(mad)
+    live = np.abs(med) > 0.0
+    out[live] = mad[live] / np.abs(med[live])
+    out[(~live) & (mad > 0.0)] = 1.0
+    return float(out.max()) if out.size else 0.0
+
+
+#: Registry of measures by name (max-RNMSE lives in noise_filter).
+def variability_measures() -> Dict[str, Callable[[np.ndarray], float]]:
+    from repro.core.noise_filter import max_rnmse
+
+    return {
+        "max_rnmse": max_rnmse,
+        "max_relative_range": max_relative_range,
+        "coefficient_of_variation": coefficient_of_variation,
+        "mad": mad_variability,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Automatic tau selection
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TauSelection:
+    """Outcome of automatic noise-threshold selection."""
+
+    tau: float
+    gap_low: float  # largest variability below the chosen threshold
+    gap_high: float  # smallest variability above it
+    gap_decades: float  # width of the separating gap in decades
+    method: str  # "gap" or "quantile"
+
+    @property
+    def unambiguous(self) -> bool:
+        """True when a Figure-2a-style free window exists (the paper calls
+        a gap of several decades 'unambiguous')."""
+        return self.method == "gap" and self.gap_decades >= 2.0
+
+
+def select_tau(
+    variabilities: Sequence[float],
+    floor: float = 1e-15,
+    min_gap_decades: float = 1.0,
+    fallback_quantile: float = 0.5,
+) -> TauSelection:
+    """Pick the noise threshold from the variability distribution.
+
+    Values at or below ``floor`` (including exact zeros) are clamped to
+    ``floor``; the widest gap between consecutive sorted log-values that is
+    at least ``min_gap_decades`` wide hosts the threshold (geometric
+    midpoint).  Without such a gap — the paper's data-cache regime — the
+    threshold falls back to the given quantile of the distribution, which
+    encodes "keep the quieter half" leniency.
+    """
+    values = np.asarray(list(variabilities), dtype=np.float64)
+    if values.size < 2:
+        raise ValueError("need at least two variability values")
+    if np.any(values < 0):
+        raise ValueError("variabilities must be non-negative")
+    clamped = np.sort(np.maximum(values, floor))
+    logs = np.log10(clamped)
+    gaps = np.diff(logs)
+    if gaps.size and gaps.max() >= min_gap_decades:
+        idx = int(np.argmax(gaps))
+        tau = float(10 ** ((logs[idx] + logs[idx + 1]) / 2.0))
+        return TauSelection(
+            tau=tau,
+            gap_low=float(clamped[idx]),
+            gap_high=float(clamped[idx + 1]),
+            gap_decades=float(gaps[idx]),
+            method="gap",
+        )
+    tau = float(np.quantile(clamped, fallback_quantile))
+    below = clamped[clamped <= tau]
+    above = clamped[clamped > tau]
+    return TauSelection(
+        tau=tau,
+        gap_low=float(below.max()) if below.size else floor,
+        gap_high=float(above.min()) if above.size else np.inf,
+        gap_decades=0.0,
+        method="quantile",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Automatic alpha selection
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AlphaSelection:
+    """Outcome of automatic QRCP-tolerance selection."""
+
+    alpha: float
+    plateau_low: float
+    plateau_high: float
+    plateau_decades: float
+    selection: Tuple[int, ...]  # column indices selected on the plateau
+    sweep: Tuple[Tuple[float, Tuple[int, ...]], ...]  # full (alpha, sel) trace
+
+    @property
+    def stable(self) -> bool:
+        return self.plateau_decades >= 1.0
+
+
+def select_alpha(
+    x: np.ndarray,
+    alphas: Optional[Sequence[float]] = None,
+    min_plateau_decades: float = 0.5,
+) -> AlphaSelection:
+    """Sweep alpha and return the midpoint of the best stable plateau.
+
+    ``x`` is the representation matrix the QRCP consumes.  Stability is
+    judged on the *set* of selected columns: a plateau is a maximal run of
+    consecutive sweep points with an identical selection.
+
+    Plateau choice is not simply "widest": below the noise scale the QRCP
+    sees measurement noise as genuine linear independence (the paper's
+    Section II warning) and can stably select too many columns — and even
+    with the right *count*, a noise-floor plateau selects columns whose
+    residual noise survives the rounding, which the scoring formula
+    penalizes heavily.  Among plateaus at least ``min_plateau_decades``
+    wide (or the widest available if none qualify), we therefore rank by
+    (quantized mean pivot score of the selected columns at the plateau's
+    midpoint alpha, selection size, -width): the plateau whose selection
+    looks most like clean basis dimensions wins, parsimony and width break
+    ties.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if alphas is None:
+        alphas = np.logspace(-6, -0.7, 22)
+    alphas = np.sort(np.asarray(list(alphas), dtype=np.float64))
+    if alphas.size < 2:
+        raise ValueError("need at least two alpha candidates")
+    if np.any(alphas <= 0):
+        raise ValueError("alphas must be positive")
+
+    sweep: List[Tuple[float, Tuple[int, ...]]] = []
+    for alpha in alphas:
+        result = qrcp_specialized(x, alpha=float(alpha))
+        sweep.append((float(alpha), tuple(sorted(int(i) for i in result.selected))))
+
+    # Enumerate maximal runs of identical selections: (start, end, decades).
+    plateaus: List[Tuple[int, int, float]] = []
+    start = 0
+    for i in range(1, len(sweep) + 1):
+        if i == len(sweep) or sweep[i][1] != sweep[start][1]:
+            width = np.log10(sweep[i - 1][0]) - np.log10(sweep[start][0])
+            plateaus.append((start, i - 1, float(width)))
+            start = i
+
+    widest = max(p[2] for p in plateaus)
+    candidates = [p for p in plateaus if p[2] >= min(min_plateau_decades, widest)]
+
+    def plateau_key(p):
+        start, end, width = p
+        selection = sweep[start][1]
+        lo, hi = sweep[start][0], sweep[end][0]
+        mid_alpha = float(10 ** ((np.log10(lo) + np.log10(hi)) / 2.0))
+        if selection:
+            scores = score_columns(x[:, list(selection)], mid_alpha)
+            mean_score = float(scores.mean())
+        else:
+            mean_score = np.inf
+        # Quantize so numerically equivalent selections tie cleanly.
+        return (round(mean_score, 2), len(selection), -width)
+
+    best = min(candidates, key=plateau_key)
+
+    lo, hi = sweep[best[0]][0], sweep[best[1]][0]
+    alpha = float(10 ** ((np.log10(lo) + np.log10(hi)) / 2.0))
+    return AlphaSelection(
+        alpha=alpha,
+        plateau_low=lo,
+        plateau_high=hi,
+        plateau_decades=best[2],
+        selection=sweep[best[0]][1],
+        sweep=tuple(sweep),
+    )

@@ -1,0 +1,16 @@
+"""Raw-event model, noise taxonomy and per-architecture catalogs."""
+
+from repro.events.model import EventDomain, RawEvent
+from repro.events.noise import NoiseModel, no_noise, quantized, relative_gaussian, spiky
+from repro.events.registry import EventRegistry
+
+__all__ = [
+    "EventDomain",
+    "EventRegistry",
+    "NoiseModel",
+    "RawEvent",
+    "no_noise",
+    "quantized",
+    "relative_gaussian",
+    "spiky",
+]

@@ -1,0 +1,12 @@
+"""Per-architecture raw-event catalogs."""
+
+from repro.events.catalogs.mi250x import MI250X_DEVICE_COUNT, mi250x_events
+from repro.events.catalogs.sapphire_rapids import sapphire_rapids_events
+from repro.events.catalogs.zen3 import zen3_events
+
+__all__ = [
+    "MI250X_DEVICE_COUNT",
+    "mi250x_events",
+    "sapphire_rapids_events",
+    "zen3_events",
+]

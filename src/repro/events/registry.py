@@ -1,0 +1,104 @@
+"""Event registry: the per-architecture catalog of raw events.
+
+The registry is what a PAPI ``papi_native_avail`` sweep would produce on a
+real machine: an ordered collection of uniquely named events, with lookup by
+full name, filtering by domain or prefix, and stable deterministic ordering
+(catalog insertion order), which the analysis relies on for reproducible
+pivot tie-breaking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.events.model import RawEvent
+
+__all__ = ["EventRegistry"]
+
+
+class EventRegistry:
+    """Ordered, name-indexed collection of :class:`RawEvent` objects."""
+
+    def __init__(self, events: Optional[Iterable[RawEvent]] = None, name: str = ""):
+        self.name = name
+        self._events: List[RawEvent] = []
+        self._by_name: Dict[str, RawEvent] = {}
+        for event in events or ():
+            self.add(event)
+
+    # Construction ---------------------------------------------------------
+    def add(self, event: RawEvent) -> None:
+        """Register an event; duplicate full names are an error."""
+        key = event.full_name
+        if key in self._by_name:
+            raise ValueError(f"duplicate event {key!r} in registry {self.name!r}")
+        self._by_name[key] = event
+        self._events.append(event)
+
+    def extend(self, events: Iterable[RawEvent]) -> None:
+        for event in events:
+            self.add(event)
+
+    # Lookup ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[RawEvent]:
+        return iter(self._events)
+
+    def __contains__(self, full_name: str) -> bool:
+        return full_name in self._by_name
+
+    def get(self, full_name: str) -> RawEvent:
+        """Look up an event by its PAPI-style full name."""
+        try:
+            return self._by_name[full_name]
+        except KeyError:
+            raise KeyError(
+                f"event {full_name!r} not found in registry {self.name!r} "
+                f"({len(self)} events)"
+            ) from None
+
+    @property
+    def full_names(self) -> List[str]:
+        """All full names in catalog order."""
+        return [e.full_name for e in self._events]
+
+    # Filtering ------------------------------------------------------------
+    def select(
+        self,
+        domains: Optional[Sequence[str]] = None,
+        prefix: Optional[str] = None,
+        device: Optional[int] = None,
+        predicate: Optional[Callable[[RawEvent], bool]] = None,
+    ) -> "EventRegistry":
+        """Sub-registry of events matching all given filters.
+
+        ``domains`` filters by :class:`~repro.events.model.EventDomain`;
+        ``prefix`` matches the start of the full name; ``device`` matches
+        the GPU device qualifier; ``predicate`` is an arbitrary filter.
+        """
+        selected = []
+        domain_set = set(domains) if domains is not None else None
+        for event in self._events:
+            if domain_set is not None and event.domain not in domain_set:
+                continue
+            if prefix is not None and not event.full_name.startswith(prefix):
+                continue
+            if device is not None and event.device != device:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            selected.append(event)
+        label = f"{self.name}[filtered]" if self.name else "[filtered]"
+        return EventRegistry(selected, name=label)
+
+    def domains(self) -> Dict[str, int]:
+        """Histogram of event domains (diagnostics / documentation)."""
+        hist: Dict[str, int] = {}
+        for event in self._events:
+            hist[event.domain] = hist.get(event.domain, 0) + 1
+        return hist
+
+    def __repr__(self) -> str:
+        return f"EventRegistry({self.name!r}, {len(self)} events)"

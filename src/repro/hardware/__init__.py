@@ -1,0 +1,35 @@
+"""Simulated hardware substrate: caches, branch unit, FP pipes, TLB, PMU,
+and the CPU/GPU machines that execute CAT kernels."""
+
+from repro.activity import Activity
+from repro.hardware.branch import BranchSpec, BranchUnit, LocalHistoryPredictor
+from repro.hardware.cache import CacheConfig, CacheHierarchy, CacheLevel
+from repro.hardware.cpu import ComputeKernel, CPUConfig, PointerChase, SimulatedCPU
+from repro.hardware.fpu import FPUConfig
+from repro.hardware.gpu import GPUConfig, GPUKernel, SimulatedGPU
+from repro.hardware.pmu import PMU
+from repro.hardware.systems import MachineNode, aurora_node, frontier_node
+from repro.hardware.tlb import TLBConfig
+
+__all__ = [
+    "Activity",
+    "BranchSpec",
+    "BranchUnit",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLevel",
+    "ComputeKernel",
+    "CPUConfig",
+    "FPUConfig",
+    "GPUConfig",
+    "GPUKernel",
+    "LocalHistoryPredictor",
+    "MachineNode",
+    "PMU",
+    "PointerChase",
+    "SimulatedCPU",
+    "SimulatedGPU",
+    "TLBConfig",
+    "aurora_node",
+    "frontier_node",
+]

@@ -1,0 +1,86 @@
+"""Floating-point unit and pipeline cost model.
+
+Turns a per-iteration instruction mix into the time-like activity keys
+(cycles, uops, port pressure, frontend traffic).  The analysis pipeline
+never *composes* metrics from these quantities — they exist so that the
+catalog's cycles/uops/stall events respond plausibly to every benchmark and
+exercise the paper's filtering stages (noise filter for the jittery ones,
+representation-residual rejection for the deterministic-but-contaminated
+ones such as ``INST_RETIRED:ANY``).
+
+The model is deliberately simple and fully deterministic: throughput-limited
+issue over two FP pipes (three for 512-bit on the SPR configuration),
+dyadic per-op latencies, and a fixed loop-overhead surcharge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.activity import FP_KINDS, FP_PRECISIONS, FP_WIDTHS, fp_instr_key
+
+__all__ = ["FPUConfig", "fp_pipeline_activity"]
+
+
+@dataclass(frozen=True)
+class FPUConfig:
+    """Issue resources of the FP subsystem."""
+
+    fp_pipes: int = 2  # FP ports (SPR: ports 0 and 1; port 5 for 512-bit)
+    issue_width: int = 6  # allocation width (uops/cycle)
+    uops_per_fp_instr: float = 1.0
+    loop_overhead_uops: float = 3.0  # counter add + compare/branch (fused) + ptr
+    loop_overhead_cycles: float = 1.0
+
+
+def fp_pipeline_activity(
+    fp_ops: Mapping[str, float],
+    int_ops: float,
+    branches_per_iter: float,
+    config: FPUConfig = FPUConfig(),
+) -> Dict[str, float]:
+    """Per-iteration pipeline activity for a compute kernel body.
+
+    Parameters
+    ----------
+    fp_ops:
+        Mapping of FP activity keys (``instr.fp.<width>.<prec>.<kind>``) to
+        per-iteration instruction counts.
+    int_ops:
+        Per-iteration scalar integer instructions (loop overhead).
+    branches_per_iter:
+        Per-iteration retired branches (for uop accounting).
+    """
+    fp_instrs = 0.0
+    wide_instrs = 0.0
+    for width in FP_WIDTHS:
+        for prec in FP_PRECISIONS:
+            for kind in FP_KINDS:
+                count = float(fp_ops.get(fp_instr_key(width, prec, kind), 0.0))
+                fp_instrs += count
+                if width == "512":
+                    wide_instrs += count
+
+    fp_uops = fp_instrs * config.uops_per_fp_instr
+    total_uops = fp_uops + int_ops + branches_per_iter + config.loop_overhead_uops
+
+    # Throughput bound: narrow FP work shares fp_pipes; 512-bit work is
+    # restricted to a single pipe on this configuration.
+    narrow = fp_instrs - wide_instrs
+    fp_cycles = max(narrow / config.fp_pipes, wide_instrs)
+    frontend_cycles = total_uops / config.issue_width
+    cycles = max(fp_cycles, frontend_cycles) + config.loop_overhead_cycles
+
+    return {
+        "uops.issued": total_uops,
+        "uops.retired": total_uops,
+        "uops.executed": total_uops,
+        "cycles.core": cycles,
+        "cycles.ref": cycles * 0.8,  # fixed ref-clock ratio
+        "frontend.dsb_uops": total_uops * 0.97,
+        "frontend.mite_uops": total_uops * 0.03,
+        "frontend.fetch_bubbles": 0.05,
+        "stall.exec": max(0.0, fp_cycles - frontend_cycles) * 0.5,
+        "stall.total": 0.1,
+    }

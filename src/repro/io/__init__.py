@@ -1,0 +1,19 @@
+"""Persistence and tabular export."""
+
+from repro.io.store import (
+    load_measurements,
+    load_presets,
+    save_measurements,
+    save_presets,
+)
+from repro.io.tables import render_markdown_table, write_csv, write_markdown
+
+__all__ = [
+    "load_measurements",
+    "load_presets",
+    "render_markdown_table",
+    "save_measurements",
+    "save_presets",
+    "write_csv",
+    "write_markdown",
+]

@@ -1,0 +1,67 @@
+"""Tabular export of pipeline artifacts (CSV and markdown).
+
+The benchmark harness writes every reproduced table/figure series through
+these helpers so results land under ``results/`` in a diffable form.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Union
+
+__all__ = ["render_markdown_table", "write_csv", "write_markdown"]
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e-3 and abs(value) < 1e6:
+            return f"{value:.6g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def render_markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """GitHub-style markdown table with aligned columns."""
+    str_rows = [[_stringify(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: Union[str, Path], headers: Sequence[str], rows: Sequence[Sequence]
+) -> Path:
+    """Write rows as CSV (no quoting needs beyond commas in our data)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [",".join(headers)]
+    for row in rows:
+        cells = [_stringify(v).replace(",", ";") for v in row]
+        lines.append(",".join(cells))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_markdown(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    parts: List[str] = []
+    if title:
+        parts.append(f"# {title}\n")
+    parts.append(render_markdown_table(headers, rows))
+    path.write_text("\n".join(parts) + "\n")
+    return path

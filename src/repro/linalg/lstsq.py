@@ -1,0 +1,126 @@
+"""Least squares via our Householder QR, with the paper's fitness measure.
+
+The pipeline solves two families of least-squares problems:
+
+1. *Representation*: ``E x_e = m_e`` projects a raw-event measurement vector
+   onto the expectation basis (paper Section III-B).
+2. *Metric composition*: ``X-hat y = s`` combines the QRCP-chosen events to
+   match a metric signature (paper Section VI).
+
+Both need the residual and the Equation-5 backward error alongside the
+solution, so :func:`lstsq_qr` returns a :class:`LstsqResult` bundling them.
+
+Rank-deficient systems are handled by truncating negligible diagonal entries
+of R (a pivoting-free variant of the usual QR-with-column-pivoting approach;
+adequate here because the QRCP stage has already removed dependent columns
+from the matrices this solver sees in the metric-composition path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.linalg.householder import HouseholderQR
+from repro.linalg.norms import backward_error, vector_norm
+from repro.linalg.triangular import solve_upper
+
+__all__ = ["LstsqResult", "lstsq_qr"]
+
+
+@dataclass(frozen=True)
+class LstsqResult:
+    """Solution bundle for an ``A x ~= b`` least-squares problem.
+
+    Attributes
+    ----------
+    x:
+        The minimum-residual solution (with zeros in directions truncated
+        for rank deficiency).
+    residual_norm:
+        ``||A x - b||_2``.
+    relative_residual:
+        ``||A x - b||_2 / ||b||_2`` (defined as 0 when ``b`` is zero).
+    backward_error:
+        The paper's Equation 5: ``||A x - b|| / (||A||_2 ||x|| + ||b||)``.
+    rank:
+        Numerical rank used for the solve.
+    """
+
+    x: np.ndarray
+    residual_norm: float
+    relative_residual: float
+    backward_error: float
+    rank: int
+
+
+def lstsq_qr(a: np.ndarray, b: np.ndarray, rcond: float = 1e-12) -> LstsqResult:
+    """Solve ``min_x ||A x - b||_2`` using the in-house Householder QR.
+
+    Parameters
+    ----------
+    a:
+        An ``(m, n)`` matrix with ``m >= n``.
+    b:
+        A right-hand-side vector of length ``m``.
+    rcond:
+        Diagonal entries of R smaller than ``rcond * max|diag(R)|`` are
+        treated as zero (rank truncation); the corresponding solution
+        entries are set to zero.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {a.shape}")
+    m, n = a.shape
+    if b.shape != (m,):
+        raise ValueError(f"rhs shape {b.shape} does not match matrix rows {m}")
+    if m < n:
+        raise ValueError(
+            f"lstsq_qr requires m >= n (got {a.shape}); the pipeline never "
+            "produces underdetermined systems"
+        )
+    if n == 0:
+        res = vector_norm(b)
+        rel = 0.0 if res == 0.0 else 1.0
+        return LstsqResult(
+            x=np.zeros(0),
+            residual_norm=res,
+            relative_residual=rel,
+            backward_error=0.0 if res == 0.0 else 1.0,
+            rank=0,
+        )
+
+    fact = HouseholderQR(a)
+    for _ in range(n):
+        fact.step()
+    qtb = fact.apply_qt(b)
+    r = fact.r_factor()[:, :n]
+    diag = np.abs(np.diag(r))
+    threshold = rcond * (diag.max() if diag.size else 0.0)
+    keep = diag > threshold
+    rank = int(keep.sum())
+
+    x = np.zeros(n)
+    if rank == n:
+        x = solve_upper(r, qtb[:n])
+    elif rank > 0:
+        # Rank-deficient: minimize over the independent columns only, using
+        # *all* rows of R (an independent column may have R entries in rows
+        # belonging to truncated columns).  The sub-matrix has full column
+        # rank, so the recursive call terminates after one level.
+        idx = np.flatnonzero(keep)
+        sub = lstsq_qr(r[:, idx], qtb[:n], rcond=rcond)
+        x[idx] = sub.x
+
+    resid = vector_norm(a @ x - b)
+    b_norm = vector_norm(b)
+    rel = 0.0 if b_norm == 0.0 else resid / b_norm
+    return LstsqResult(
+        x=x,
+        residual_norm=resid,
+        relative_residual=rel,
+        backward_error=backward_error(a, x, b),
+        rank=rank,
+    )

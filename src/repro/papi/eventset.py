@@ -1,0 +1,104 @@
+"""PAPI-style event sets: the start/stop/read measurement lifecycle.
+
+An :class:`EventSet` collects raw events (all from one component, as PAPI
+requires), validates them against the PMU's counter budget, and reads them
+against the activity produced by a workload run.  This is the same
+interface CAT itself uses when measuring its microkernels.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.activity import Activity
+from repro.events.model import RawEvent
+from repro.hardware.pmu import PMU
+from repro.papi.component import Component
+
+__all__ = ["EventSet", "EventSetState", "PAPIError"]
+
+
+class PAPIError(RuntimeError):
+    """Lifecycle or capacity violation (mirrors PAPI error returns)."""
+
+
+class EventSetState(Enum):
+    STOPPED = "stopped"
+    RUNNING = "running"
+
+
+class EventSet:
+    """A measured group of events from a single component."""
+
+    def __init__(self, component: Component, pmu: PMU):
+        self.component = component
+        self.pmu = pmu
+        self._events: List[RawEvent] = []
+        self.state = EventSetState.STOPPED
+        self._readings: Optional[Dict[str, float]] = None
+
+    @property
+    def events(self) -> List[RawEvent]:
+        return list(self._events)
+
+    def add_event(self, full_name: str) -> None:
+        """Add a native event by name; must fit a single counter group."""
+        if self.state is not EventSetState.STOPPED:
+            raise PAPIError("cannot add events while the event set is running")
+        if full_name not in self.component:
+            raise PAPIError(
+                f"event {full_name!r} is not exposed by component "
+                f"{self.component.name!r}"
+            )
+        if any(e.full_name == full_name for e in self._events):
+            raise PAPIError(f"event {full_name!r} already in the set")
+        candidate = self._events + [self.component.events.get(full_name)]
+        if self.pmu.schedule(candidate).n_runs > 1:
+            raise PAPIError(
+                f"adding {full_name!r} exceeds the PMU counter budget "
+                f"({self.pmu.programmable_counters} programmable counters); "
+                "split events across sets/runs"
+            )
+        self._events.append(candidate[-1])
+
+    def start(self) -> None:
+        if self.state is EventSetState.RUNNING:
+            raise PAPIError("event set is already running")
+        if not self._events:
+            raise PAPIError("cannot start an empty event set")
+        self.state = EventSetState.RUNNING
+        self._readings = None
+
+    def stop(
+        self,
+        activity: Activity,
+        rng_for_event: Optional[Callable[[RawEvent], Optional[np.random.Generator]]] = None,
+    ) -> Dict[str, float]:
+        """Stop counting against the activity of the measured region.
+
+        The simulated machine produces the region's activity; stop() turns
+        it into per-event readings through each event's response and noise
+        model.  Returns the readings and caches them for :meth:`read`.
+        """
+        if self.state is not EventSetState.RUNNING:
+            raise PAPIError("event set is not running")
+        rng_for_event = rng_for_event or (lambda event: None)
+        self._readings = self.pmu.read(self._events, activity, rng_for_event)
+        self.state = EventSetState.STOPPED
+        return dict(self._readings)
+
+    def read(self) -> Dict[str, float]:
+        """Last readings (after a stop)."""
+        if self._readings is None:
+            raise PAPIError("no readings available; run start/stop first")
+        return dict(self._readings)
+
+    def cleanup(self) -> None:
+        """Remove all events (PAPI_cleanup_eventset)."""
+        if self.state is not EventSetState.STOPPED:
+            raise PAPIError("cannot clean up a running event set")
+        self._events.clear()
+        self._readings = None

@@ -1,0 +1,13 @@
+"""Figure-series extraction and ASCII rendering."""
+
+from repro.viz.ascii import grouped_series, log_scatter
+from repro.viz.series import Fig2Series, Fig3Series, fig2_series, fig3_series
+
+__all__ = [
+    "Fig2Series",
+    "Fig3Series",
+    "fig2_series",
+    "fig3_series",
+    "grouped_series",
+    "log_scatter",
+]

@@ -1,0 +1,157 @@
+"""Tests for the CAT benchmark definitions."""
+
+import numpy as np
+import pytest
+
+from repro.cat import (
+    BRANCH_KERNEL_SPECS,
+    BranchBenchmark,
+    CPUFlopsBenchmark,
+    DCacheBenchmark,
+    GPUFlopsBenchmark,
+    default_footprints,
+)
+from repro.cat.kernels import (
+    CPU_FLOPS_DIMENSIONS,
+    GPU_FLOPS_DIMENSIONS,
+    flops_per_instruction,
+)
+from repro.core.basis import BRANCH_EXPECTATION_MATRIX
+from repro.hardware import SimulatedCPU, SimulatedGPU, aurora_node, frontier_node
+
+
+class TestKernelTables:
+    def test_cpu_dimension_count(self):
+        assert len(CPU_FLOPS_DIMENSIONS) == 16
+
+    def test_gpu_dimension_count(self):
+        assert len(GPU_FLOPS_DIMENSIONS) == 15
+
+    def test_cpu_symbols_unique(self):
+        symbols = [d.symbol for d in CPU_FLOPS_DIMENSIONS]
+        assert len(set(symbols)) == 16
+
+    def test_flops_per_instruction_table(self):
+        assert flops_per_instruction("scalar", "dp", False) == 1
+        assert flops_per_instruction("scalar", "dp", True) == 2
+        assert flops_per_instruction("128", "dp", False) == 2
+        assert flops_per_instruction("256", "sp", False) == 8
+        assert flops_per_instruction("512", "dp", True) == 16
+        assert flops_per_instruction("512", "sp", True) == 32
+
+    def test_fma_kernels_use_half_blocks(self):
+        fma = [d for d in CPU_FLOPS_DIMENSIONS if d.fma][0]
+        nonfma = [d for d in CPU_FLOPS_DIMENSIONS if not d.fma][0]
+        assert fma.loop_blocks == (12, 24, 48)
+        assert nonfma.loop_blocks == (24, 48, 96)
+
+    def test_gpu_sqrt_maps_to_trans(self):
+        sqrt_dims = [d for d in GPU_FLOPS_DIMENSIONS if d.op == "trans"]
+        assert all(d.kernel_name.startswith("sqrt_") for d in sqrt_dims)
+        assert [d.symbol for d in sqrt_dims] == ["SQH", "SQS", "SQD"]
+
+    def test_gpu_fma_two_ops(self):
+        for d in GPU_FLOPS_DIMENSIONS:
+            assert d.ops_per_instruction == (2 if d.op == "fma" else 1)
+
+
+class TestCPUFlopsBenchmark:
+    def test_row_structure(self):
+        bench = CPUFlopsBenchmark()
+        labels = bench.row_labels()
+        assert len(labels) == 48
+        assert labels[0] == "sp_scalar/loop24"
+        assert labels[-1] == "dp_512_fma/loop48"
+
+    def test_execute_shapes(self):
+        bench = CPUFlopsBenchmark()
+        activities = bench.execute(SimulatedCPU())
+        assert len(activities) == 48
+        assert all(len(row) == 1 for row in activities)
+
+    def test_activity_matches_kernel_class(self):
+        bench = CPUFlopsBenchmark()
+        activities = bench.execute(SimulatedCPU())
+        labels = bench.row_labels()
+        idx = labels.index("dp_256_fma/loop24")
+        act = activities[idx][0]
+        assert act.get("instr.fp.256.dp.fma") == 24.0
+        assert act.get("instr.fp.256.dp.nonfma") == 0.0
+
+    def test_rejects_gpu_machine(self):
+        with pytest.raises(TypeError):
+            CPUFlopsBenchmark().execute(SimulatedGPU())
+
+
+class TestGPUFlopsBenchmark:
+    def test_row_structure(self):
+        bench = GPUFlopsBenchmark()
+        assert len(bench.row_labels()) == 45
+
+    def test_rejects_cpu_machine(self):
+        with pytest.raises(TypeError):
+            GPUFlopsBenchmark().execute(SimulatedCPU())
+
+    def test_execute(self):
+        bench = GPUFlopsBenchmark()
+        activities = bench.execute(SimulatedGPU())
+        labels = bench.row_labels()
+        idx = labels.index("fma_f64/loop96")
+        assert activities[idx][0].get("gpu.valu.fma.f64") == 96.0
+
+
+class TestBranchBenchmark:
+    def test_eleven_kernels(self):
+        assert len(BRANCH_KERNEL_SPECS) == 11
+        assert len(BranchBenchmark().row_labels()) == 11
+
+    def test_activities_reproduce_equation3(self):
+        """Every measured row equals the paper's expectation matrix —
+        the substrate-level ground truth behind the branch results."""
+        bench = BranchBenchmark()
+        activities = bench.execute(SimulatedCPU())
+        measured = np.array(
+            [
+                [
+                    act[0].get("branch.cond_executed"),
+                    act[0].get("branch.cond_retired"),
+                    act[0].get("branch.cond_taken"),
+                    act[0].get("branch.uncond_direct"),
+                    act[0].get("branch.mispredicted"),
+                ]
+                for act in activities
+            ]
+        )
+        assert np.array_equal(measured, BRANCH_EXPECTATION_MATRIX)
+
+
+class TestDCacheBenchmark:
+    def test_default_row_structure(self):
+        bench = DCacheBenchmark()
+        labels = bench.row_labels()
+        assert len(labels) == 16
+        assert labels[0].startswith("stride64/L1/")
+        assert labels[8].startswith("stride128/L1/")
+        regions = bench.row_regions()
+        assert regions == ["L1", "L1", "L2", "L2", "L3", "L3", "M", "M"] * 2
+
+    def test_footprints_span_hierarchy(self):
+        footprints = default_footprints()
+        regions = [r for r, _ in footprints]
+        assert regions == ["L1", "L1", "L2", "L2", "L3", "L3", "M", "M"]
+        sizes = [s for _, s in footprints]
+        assert sizes == sorted(sizes)
+
+    def test_execute_thread_count(self):
+        bench = DCacheBenchmark(n_threads=3, footprints=[("L1", 16 * 1024)])
+        activities = bench.execute(SimulatedCPU())
+        assert len(activities) == 2  # one footprint x two strides
+        assert all(len(row) == 3 for row in activities)
+
+    def test_environment_noise_declared(self):
+        assert DCacheBenchmark().environment_noise is not None
+        assert CPUFlopsBenchmark().environment_noise is None
+
+    def test_footprint_too_small_for_stride(self):
+        with pytest.raises(ValueError):
+            DCacheBenchmark(strides=(4096,), footprints=[("L1", 1024)])

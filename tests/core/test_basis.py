@@ -1,0 +1,130 @@
+"""Tests for expectation bases."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import (
+    BRANCH_EXPECTATION_MATRIX,
+    ExpectationBasis,
+    branch_basis,
+    cpu_flops_basis,
+    dcache_basis,
+    gpu_flops_basis,
+)
+
+
+class TestExpectationBasis:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ExpectationBasis("x", ("a",), ("r1", "r2"), np.ones((3, 1)))
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError, match="rank deficient"):
+            ExpectationBasis(
+                "x", ("a", "b"), ("r1", "r2"), np.array([[1.0, 2.0], [2.0, 4.0]])
+            )
+
+    def test_dimension_lookup(self):
+        basis = branch_basis()
+        assert basis.dimension_index("T") == 2
+        with pytest.raises(KeyError):
+            basis.dimension_index("NOPE")
+
+    def test_expectation_column(self):
+        basis = branch_basis()
+        assert np.allclose(basis.expectation("D"), BRANCH_EXPECTATION_MATRIX[:, 3])
+
+
+class TestCPUFlopsBasis:
+    def test_geometry(self):
+        basis = cpu_flops_basis()
+        assert basis.matrix.shape == (48, 16)
+        assert basis.n_dimensions == 16
+
+    def test_dimension_order_matches_paper(self):
+        # (S_SCAL, S128, S256, S512, D_SCAL..D512, then the FMA block).
+        labels = basis = cpu_flops_basis().dimension_labels
+        assert labels[:8] == (
+            "SSCAL", "S128", "S256", "S512", "DSCAL", "D128", "D256", "D512",
+        )
+        assert labels[8] == "SSCAL_FMA"
+        assert labels[15] == "D512_FMA"
+
+    def test_block_diagonal_structure(self):
+        basis = cpu_flops_basis()
+        # Each row has exactly one nonzero: the kernel's own class.
+        assert (np.count_nonzero(basis.matrix, axis=1) == 1).all()
+
+    def test_non_fma_blocks(self):
+        basis = cpu_flops_basis()
+        col = basis.expectation("DSCAL")
+        assert sorted(col[col > 0].tolist()) == [24.0, 48.0, 96.0]
+
+    def test_fma_blocks_are_half_sized(self):
+        basis = cpu_flops_basis()
+        col = basis.expectation("D256_FMA")
+        assert sorted(col[col > 0].tolist()) == [12.0, 24.0, 48.0]
+
+    def test_paper_example_signature_recovery(self):
+        # Section III-A: DSCAL + 8*D256_FMA over the two example kernels
+        # yields (24,48,96) and (96,192,384) FLOPs.
+        basis = cpu_flops_basis()
+        flops = basis.expectation("DSCAL") + 8.0 * basis.expectation("D256_FMA")
+        scal_rows = [i for i, l in enumerate(basis.row_labels) if l.startswith("dp_scalar/")]
+        fma_rows = [i for i, l in enumerate(basis.row_labels) if l.startswith("dp_256_fma/")]
+        assert flops[scal_rows].tolist() == [24.0, 48.0, 96.0]
+        assert flops[fma_rows].tolist() == [96.0, 192.0, 384.0]
+
+
+class TestGPUFlopsBasis:
+    def test_geometry(self):
+        basis = gpu_flops_basis()
+        assert basis.matrix.shape == (45, 15)
+
+    def test_dimension_order_matches_paper_table2(self):
+        labels = gpu_flops_basis().dimension_labels
+        assert labels == (
+            "AH", "AS", "AD", "SH", "SS", "SD", "MH", "MS", "MD",
+            "SQH", "SQS", "SQD", "FH", "FS", "FD",
+        )
+
+
+class TestBranchBasis:
+    def test_matches_paper_equation3(self):
+        basis = branch_basis()
+        assert np.array_equal(basis.matrix, BRANCH_EXPECTATION_MATRIX)
+
+    def test_derived_equals_paper(self):
+        """The strongest substrate check: running the kernel specs through
+        the simulated branch unit reproduces Equation 3 exactly."""
+        derived = branch_basis(derive=True)
+        assert np.array_equal(derived.matrix, BRANCH_EXPECTATION_MATRIX)
+
+    def test_labels(self):
+        basis = branch_basis()
+        assert basis.dimension_labels == ("CE", "CR", "T", "D", "M")
+        assert len(basis.row_labels) == 11
+
+
+class TestDCacheBasis:
+    def test_geometry(self):
+        basis = dcache_basis()
+        assert basis.matrix.shape == (16, 4)
+        assert basis.dimension_labels == ("L1DM", "L1DH", "L2DH", "L3DH")
+
+    def test_l1_rows_hit_only(self):
+        basis = dcache_basis()
+        for i, label in enumerate(basis.row_labels):
+            if "/L1/" in label:
+                assert basis.matrix[i].tolist() == [0.0, 1.0, 0.0, 0.0]
+
+    def test_memory_rows_miss_everything(self):
+        basis = dcache_basis()
+        for i, label in enumerate(basis.row_labels):
+            if "/M/" in label:
+                assert basis.matrix[i].tolist() == [1.0, 0.0, 0.0, 0.0]
+
+    def test_every_access_hits_or_misses_l1(self):
+        basis = dcache_basis()
+        l1_total = basis.expectation("L1DM") + basis.expectation("L1DH")
+        assert np.allclose(l1_total, 1.0)

@@ -1,0 +1,136 @@
+"""Tests for the data-TLB extension domain."""
+
+import numpy as np
+import pytest
+
+from repro.cat.dtlb import DTLBBenchmark, default_page_counts
+from repro.core import AnalysisPipeline
+from repro.core.basis import dtlb_basis
+from repro.core.signatures import dtlb_signatures
+from repro.hardware import SimulatedCPU, SimulatedGPU, aurora_node
+from repro.hardware.tlb import TLBConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return AnalysisPipeline.for_domain("dtlb", aurora_node()).run()
+
+
+class TestDTLBBenchmark:
+    def test_row_structure(self):
+        bench = DTLBBenchmark()
+        labels = bench.row_labels()
+        assert len(labels) == 12  # 6 page counts x 2 strides
+        assert labels[0].startswith("stride1p/")
+        assert labels[6].startswith("stride2p/")
+        assert bench.row_regions() == ["TLB", "TLB", "STLB", "STLB", "WALK", "WALK"] * 2
+
+    def test_page_counts_span_hierarchy(self):
+        counts = default_page_counts(TLBConfig(entries=64, stlb_entries=2048))
+        pages = [p for _, p in counts]
+        assert pages == sorted(pages)
+        assert pages[1] < 64 <= pages[2]
+        assert pages[3] <= 2048 < pages[4]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DTLBBenchmark(page_counts=[("TLB", 0)])
+        with pytest.raises(ValueError):
+            DTLBBenchmark(strides_pages=(0,))
+        with pytest.raises(TypeError):
+            DTLBBenchmark().execute(SimulatedGPU())
+
+    def test_activities_match_regions(self):
+        bench = DTLBBenchmark(n_threads=1)
+        activities = bench.execute(SimulatedCPU())
+        regions = bench.row_regions()
+        for acts, region in zip(activities, regions):
+            act = acts[0]
+            if region == "TLB":
+                assert act.get("tlb.dtlb_load_hit") == 1.0
+            elif region == "STLB":
+                assert act.get("tlb.stlb_hit") == 1.0
+                assert act.get("tlb.walks") == 0.0
+            else:
+                assert act.get("tlb.walks") == 1.0
+
+    def test_sparse_stride_touches_one_page_per_pointer(self):
+        # The fix behind the two-stride design: stride 2 pages must not
+        # double-count pages.
+        bench = DTLBBenchmark(n_threads=1, page_counts=[("TLB", 16)])
+        acts = bench.execute(SimulatedCPU())
+        one_page, two_page = acts[0][0], acts[1][0]
+        assert one_page.get("tlb.dtlb_load_hit") == two_page.get("tlb.dtlb_load_hit")
+
+
+class TestDTLBBasis:
+    def test_geometry(self):
+        basis = dtlb_basis()
+        assert basis.matrix.shape == (12, 3)
+        assert basis.dimension_labels == ("DTLBH", "STLBH", "WALK")
+
+    def test_block_structure(self):
+        basis = dtlb_basis()
+        assert np.allclose(basis.matrix.sum(axis=1), 1.0)
+        assert (np.count_nonzero(basis.matrix, axis=1) == 1).all()
+
+    def test_signatures(self):
+        sigs = {s.name: s for s in dtlb_signatures()}
+        assert sigs["DTLB Misses."].coords.tolist() == [0.0, 1.0, 1.0]
+        assert sigs["Translation Reads."].coords.tolist() == [1.0, 1.0, 1.0]
+
+
+#: Events that read exactly one count per access on every row of the
+#: page-stride sweep, and thus carry the (1,1,1) "translation reads"
+#: direction interchangeably.  MEM_LOAD_RETIRED:L1_MISS qualifies for a
+#: structural reason worth knowing: a 4 KiB stride aliases the L1's sets
+#: (64 sets x 64 B = one page), so *every* access of this benchmark misses
+#: L1 regardless of working-set size — on real hardware too.
+LOADS_CARRIERS = {
+    "MEM_INST_RETIRED:ALL_LOADS",
+    "MEM_INST_RETIRED:ANY",
+    "MEM_LOAD_RETIRED:L1_MISS",
+    "L2_RQSTS:ALL_DEMAND_DATA_RD",
+    "L2_RQSTS:ALL_DEMAND_REFERENCES",
+}
+
+
+class TestDTLBPipeline:
+    def test_selects_translation_events(self, result):
+        selected = set(result.selected_events)
+        assert {
+            "DTLB_LOAD_MISSES:WALK_COMPLETED",
+            "DTLB_LOAD_MISSES:STLB_HIT",
+        } <= selected
+        carriers = selected & LOADS_CARRIERS
+        assert len(carriers) == 1
+        assert len(selected) == 3
+
+    def test_cache_boundary_events_deconfounded(self, result):
+        """The two-stride design must keep cache *boundary* events (whose
+        transitions could mimic the walk boundary) out of the selection;
+        the L1 set-aliasing carrier is the accepted exception."""
+        assert "MEM_LOAD_RETIRED:L3_MISS" not in result.selected_events
+        assert "MEM_LOAD_RETIRED:L3_HIT" not in result.selected_events
+        assert "L2_RQSTS:DEMAND_DATA_RD_HIT" not in result.selected_events
+
+    def test_all_metrics_compose(self, result):
+        for name, metric in result.metrics.items():
+            assert metric.error < 1e-10, name
+
+    def test_dtlb_hits_derived_by_subtraction(self, result):
+        terms = dict(result.rounded_metrics["DTLB Hits."].terms())
+        assert terms.pop("DTLB_LOAD_MISSES:STLB_HIT") == -1.0
+        assert terms.pop("DTLB_LOAD_MISSES:WALK_COMPLETED") == -1.0
+        (carrier, coeff), = terms.items()
+        assert carrier in LOADS_CARRIERS and coeff == 1.0
+
+    def test_page_walks_direct(self, result):
+        rounded = result.rounded_metrics["Page Walks."]
+        assert rounded.terms() == {"DTLB_LOAD_MISSES:WALK_COMPLETED": 1.0}
+
+    def test_miss_causes_a_walk_is_redundant_not_selected(self, result):
+        # Its representation (0,1,1) is dependent on STLB_HIT + WALK.
+        rep_names = result.representation.event_names
+        assert "DTLB_LOAD_MISSES:MISS_CAUSES_A_WALK" in rep_names
+        assert "DTLB_LOAD_MISSES:MISS_CAUSES_A_WALK" not in result.selected_events

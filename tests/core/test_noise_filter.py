@@ -1,0 +1,128 @@
+"""Tests for the max-RNMSE noise analysis (paper Equation 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cat.measurement import MeasurementSet
+from repro.core.noise_filter import analyze_noise, max_rnmse
+
+
+def _ms(data, events=None):
+    data = np.asarray(data, dtype=float)
+    reps, threads, rows, n_events = data.shape
+    return MeasurementSet(
+        benchmark="t",
+        row_labels=[f"r{i}" for i in range(rows)],
+        event_names=events or [f"e{i}" for i in range(n_events)],
+        data=data,
+    )
+
+
+class TestMaxRNMSE:
+    def test_identical_vectors_zero(self):
+        v = np.tile([1.0, 2.0, 3.0], (4, 1))
+        assert max_rnmse(v) == 0.0
+
+    def test_known_value(self):
+        # Two vectors of length 2: ||d||=sqrt(2)*0.1; means 1.0 and 1.1.
+        m = np.array([[1.0, 1.0], [1.1, 1.1]])
+        expected = np.sqrt(2 * 0.01) / np.sqrt(2 * 1.0 * 1.1)
+        assert np.isclose(max_rnmse(m), expected)
+
+    def test_takes_maximum_over_pairs(self):
+        m = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        pair_01 = 0.0
+        pair_02 = np.sqrt(2.0) / np.sqrt(2 * 1.0 * 2.0)
+        assert np.isclose(max_rnmse(m), max(pair_01, pair_02))
+
+    def test_zero_mean_pair_scores_one(self):
+        # Paper: if one vector's mean is zero, variability is defined as 1.
+        m = np.array([[1.0, -1.0], [1.0, 1.0]])
+        assert max_rnmse(m) == 1.0
+
+    def test_requires_two_repetitions(self):
+        with pytest.raises(ValueError):
+            max_rnmse(np.ones((1, 3)))
+
+    def test_paper_noise_example_vectors(self):
+        # (1,1) vs (0.99,1.01): numerically independent but semantically
+        # identical; RNMSE quantifies the tiny distance.
+        m = np.array([[1.0, 1.0], [0.99, 1.01]])
+        value = max_rnmse(m)
+        assert 0 < value < 0.02
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 10_000))
+    def test_property_symmetric_in_repetition_order(self, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.uniform(0.1, 10.0, size=(4, 6))
+        shuffled = m[rng.permutation(4)]
+        assert np.isclose(max_rnmse(m), max_rnmse(shuffled))
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 10_000), st.floats(0.1, 100.0))
+    def test_property_scale_invariant(self, seed, scale):
+        # RNMSE is relative: scaling all measurements leaves it unchanged.
+        rng = np.random.default_rng(seed)
+        m = rng.uniform(0.5, 5.0, size=(3, 5))
+        assert np.isclose(max_rnmse(m), max_rnmse(scale * m), rtol=1e-9)
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 10_000))
+    def test_property_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.uniform(0.1, 10.0, size=(3, 4))
+        assert max_rnmse(m) >= 0.0
+
+
+class TestAnalyzeNoise:
+    def test_splits_by_tau(self):
+        quiet = np.tile([[1.0, 2.0]], (3, 1, 1, 1)).transpose(0, 3, 2, 1)
+        # Build: 3 reps, 1 thread, 2 rows, 2 events: e0 exact, e1 noisy.
+        data = np.zeros((3, 1, 2, 2))
+        data[:, 0, :, 0] = [1.0, 2.0]
+        data[:, 0, :, 1] = [[1.0, 2.0], [1.5, 2.5], [1.0, 2.0]]
+        report = analyze_noise(_ms(data), tau=1e-6)
+        assert report.kept == ["e0"]
+        assert report.noisy == ["e1"]
+
+    def test_all_zero_events_discarded(self):
+        data = np.zeros((2, 1, 3, 1))
+        report = analyze_noise(_ms(data), tau=1e-6)
+        assert report.discarded_zero == ["e0"]
+        assert report.kept == []
+        assert "e0" not in report.variabilities
+
+    def test_thread_median_suppresses_outlier_thread(self):
+        # 3 threads; one thread is wildly off in every repetition, but the
+        # median keeps the event quiet.
+        data = np.zeros((2, 3, 2, 1))
+        data[:, :, :, 0] = 1.0
+        data[:, 2, :, 0] = 50.0  # rogue thread
+        report = analyze_noise(_ms(data), tau=1e-6)
+        assert report.kept == ["e0"]
+
+    def test_sorted_variabilities(self):
+        data = np.zeros((2, 1, 2, 3))
+        data[:, 0, :, 0] = 1.0
+        data[0, 0, :, 1] = 1.0
+        data[1, 0, :, 1] = 1.3
+        data[0, 0, :, 2] = 1.0
+        data[1, 0, :, 2] = 1.1
+        report = analyze_noise(_ms(data), tau=1e-6)
+        ordered = report.sorted_variabilities()
+        assert [name for name, _ in ordered] == ["e0", "e2", "e1"]
+        values = [v for _, v in ordered]
+        assert values == sorted(values)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            analyze_noise(_ms(np.ones((2, 1, 1, 1))), tau=0.0)
+
+    def test_n_measured_counts_everything(self):
+        data = np.zeros((2, 1, 2, 2))
+        data[:, 0, :, 0] = 1.0
+        report = analyze_noise(_ms(data), tau=1e-6)
+        assert report.n_measured == 2

@@ -1,0 +1,280 @@
+"""End-to-end pipeline tests: the paper's Section V selections and
+Tables V-VIII, reproduced from simulated measurements.
+
+These are the headline integration tests; each fixture runs the full
+measure -> de-noise -> represent -> QRCP -> least-squares chain once per
+module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalysisPipeline, PipelineConfig
+from repro.hardware import aurora_node, frontier_node
+
+
+@pytest.fixture(scope="module")
+def branch_result():
+    return AnalysisPipeline.for_domain("branch", aurora_node()).run()
+
+
+@pytest.fixture(scope="module")
+def cpu_flops_result():
+    return AnalysisPipeline.for_domain("cpu_flops", aurora_node()).run()
+
+
+@pytest.fixture(scope="module")
+def gpu_flops_result():
+    return AnalysisPipeline.for_domain("gpu_flops", frontier_node()).run()
+
+
+@pytest.fixture(scope="module")
+def dcache_result():
+    return AnalysisPipeline.for_domain("dcache", aurora_node()).run()
+
+
+class TestBranchPipeline:
+    """Paper Sections V-C and Table VII."""
+
+    def test_selects_exactly_the_paper_events(self, branch_result):
+        assert set(branch_result.selected_events) == {
+            "BR_MISP_RETIRED",
+            "BR_INST_RETIRED:COND",
+            "BR_INST_RETIRED:COND_TAKEN",
+            "BR_INST_RETIRED:ALL_BRANCHES",
+        }
+
+    def test_six_metrics_compose_exactly(self, branch_result):
+        for name in (
+            "Unconditional Branches.",
+            "Conditional Branches Taken.",
+            "Conditional Branches Not Taken.",
+            "Mispredicted Branches.",
+            "Correctly Predicted Branches.",
+            "Conditional Branches Retired.",
+        ):
+            assert branch_result.metric(name).error < 1e-10, name
+
+    def test_unconditional_is_all_minus_cond(self, branch_result):
+        terms = round_terms(branch_result.metric("Unconditional Branches."))
+        assert terms == {
+            "BR_INST_RETIRED:ALL_BRANCHES": 1.0,
+            "BR_INST_RETIRED:COND": -1.0,
+        }
+
+    def test_not_taken_is_cond_minus_taken(self, branch_result):
+        terms = round_terms(branch_result.metric("Conditional Branches Not Taken."))
+        assert terms == {
+            "BR_INST_RETIRED:COND": 1.0,
+            "BR_INST_RETIRED:COND_TAKEN": -1.0,
+        }
+
+    def test_correctly_predicted_is_cond_minus_misp(self, branch_result):
+        terms = round_terms(branch_result.metric("Correctly Predicted Branches."))
+        assert terms == {"BR_INST_RETIRED:COND": 1.0, "BR_MISP_RETIRED": -1.0}
+
+    def test_executed_branches_uncomposable(self, branch_result):
+        metric = branch_result.metric("Conditional Branches Executed.")
+        assert np.isclose(metric.error, 1.0)
+        assert np.allclose(metric.coefficients, 0.0, atol=1e-10)
+
+    def test_branch_events_are_in_zero_noise_cluster(self, branch_result):
+        v = branch_result.noise.variabilities
+        for name in branch_result.selected_events:
+            assert v[name] == 0.0, name
+
+    def test_timing_events_filtered_as_noisy(self, branch_result):
+        assert "CPU_CLK_UNHALTED:THREAD" in branch_result.noise.noisy
+
+    def test_overhead_contaminated_events_rejected_at_representation(
+        self, branch_result
+    ):
+        assert "INST_RETIRED:ANY" in branch_result.representation.rejected
+
+
+class TestCPUFlopsPipeline:
+    """Paper Sections V-A and Table V."""
+
+    PAPER_EVENTS = {
+        f"FP_ARITH_INST_RETIRED:{w}_PACKED_{p}"
+        for w in ("128B", "256B", "512B")
+        for p in ("SINGLE", "DOUBLE")
+    } | {"FP_ARITH_INST_RETIRED:SCALAR_SINGLE", "FP_ARITH_INST_RETIRED:SCALAR_DOUBLE"}
+
+    def test_selects_exactly_the_eight_fp_events(self, cpu_flops_result):
+        assert set(cpu_flops_result.selected_events) == self.PAPER_EVENTS
+
+    def test_dp_ops_combination(self, cpu_flops_result):
+        terms = round_terms(cpu_flops_result.metric("DP Ops."))
+        assert terms == {
+            "FP_ARITH_INST_RETIRED:SCALAR_DOUBLE": 1.0,
+            "FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE": 2.0,
+            "FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE": 4.0,
+            "FP_ARITH_INST_RETIRED:512B_PACKED_DOUBLE": 8.0,
+        }
+        assert cpu_flops_result.metric("DP Ops.").error < 1e-10
+
+    def test_sp_ops_combination(self, cpu_flops_result):
+        terms = round_terms(cpu_flops_result.metric("SP Ops."))
+        assert terms == {
+            "FP_ARITH_INST_RETIRED:SCALAR_SINGLE": 1.0,
+            "FP_ARITH_INST_RETIRED:128B_PACKED_SINGLE": 4.0,
+            "FP_ARITH_INST_RETIRED:256B_PACKED_SINGLE": 8.0,
+            "FP_ARITH_INST_RETIRED:512B_PACKED_SINGLE": 16.0,
+        }
+
+    def test_instruction_metrics_have_unit_coefficients(self, cpu_flops_result):
+        for name, prec in (("SP Instrs.", "SINGLE"), ("DP Instrs.", "DOUBLE")):
+            terms = round_terms(cpu_flops_result.metric(name))
+            assert set(terms.values()) == {1.0}
+            assert all(prec in e for e in terms), name
+
+    def test_fma_metrics_fail_with_paper_fingerprint(self, cpu_flops_result):
+        """The absence-detection result: coefficients 0.8, error 2.36e-1."""
+        for name in ("SP FMA Instrs.", "DP FMA Instrs."):
+            metric = cpu_flops_result.metric(name)
+            assert metric.error == pytest.approx(0.236, abs=2e-3), name
+            nonzero = [c for c in metric.coefficients if abs(c) > 1e-6]
+            assert all(c == pytest.approx(0.8, abs=1e-6) for c in nonzero)
+            assert not metric.composable
+
+    def test_aggregate_fp_events_survive_until_qrcp_then_drop(self, cpu_flops_result):
+        rep_names = cpu_flops_result.representation.event_names
+        assert "FP_ARITH_INST_RETIRED:VECTOR" in rep_names
+        assert "FP_ARITH_INST_RETIRED:VECTOR" not in cpu_flops_result.selected_events
+
+
+class TestGPUFlopsPipeline:
+    """Paper Sections V-B and Table VI."""
+
+    PAPER_EVENTS = {
+        f"rocm:::SQ_INSTS_VALU_{op}_{p}:device=0"
+        for op in ("ADD", "MUL", "TRANS", "FMA")
+        for p in ("F16", "F32", "F64")
+    }
+
+    def test_selects_exactly_the_twelve_valu_events(self, gpu_flops_result):
+        assert set(gpu_flops_result.selected_events) == self.PAPER_EVENTS
+
+    def test_hp_add_alone_fails_with_half_coefficient(self, gpu_flops_result):
+        for name in ("HP Add Ops.", "HP Sub Ops."):
+            metric = gpu_flops_result.metric(name)
+            assert metric.error == pytest.approx(0.414, abs=2e-3), name
+            terms = {e: c for e, c in metric.terms().items() if abs(c) > 1e-6}
+            assert terms == {
+                "rocm:::SQ_INSTS_VALU_ADD_F16:device=0": pytest.approx(0.5)
+            }
+
+    def test_hp_add_and_sub_composes_exactly(self, gpu_flops_result):
+        metric = gpu_flops_result.metric("HP Add and Sub Ops.")
+        assert metric.error < 1e-10
+        terms = round_terms(metric)
+        assert terms == {"rocm:::SQ_INSTS_VALU_ADD_F16:device=0": 1.0}
+
+    @pytest.mark.parametrize(
+        "name,suffix", [("All HP Ops.", "F16"), ("All SP Ops.", "F32"), ("All DP Ops.", "F64")]
+    )
+    def test_all_ops_per_precision(self, gpu_flops_result, name, suffix):
+        metric = gpu_flops_result.metric(name)
+        assert metric.error < 1e-10
+        terms = round_terms(metric)
+        assert terms == {
+            f"rocm:::SQ_INSTS_VALU_FMA_{suffix}:device=0": 2.0,
+            f"rocm:::SQ_INSTS_VALU_MUL_{suffix}:device=0": 1.0,
+            f"rocm:::SQ_INSTS_VALU_TRANS_{suffix}:device=0": 1.0,
+            f"rocm:::SQ_INSTS_VALU_ADD_{suffix}:device=0": 1.0,
+        }
+
+    def test_idle_device_events_discarded_as_zero(self, gpu_flops_result):
+        discarded = set(gpu_flops_result.noise.discarded_zero)
+        assert "rocm:::SQ_INSTS_VALU_ADD_F16:device=3" in discarded
+
+
+class TestDCachePipeline:
+    """Paper Sections V-D and Table VIII."""
+
+    PAPER_EVENTS = {
+        "MEM_LOAD_RETIRED:L3_HIT",
+        "L2_RQSTS:DEMAND_DATA_RD_HIT",
+        "MEM_LOAD_RETIRED:L1_MISS",
+        "MEM_LOAD_RETIRED:L1_HIT",
+    }
+
+    def test_selects_exactly_the_paper_events(self, dcache_result):
+        assert set(dcache_result.selected_events) == self.PAPER_EVENTS
+
+    def test_all_metrics_compose_with_small_error(self, dcache_result):
+        for metric in dcache_result.metrics.values():
+            assert metric.error < 1e-10, metric.metric
+
+    def test_coefficients_near_integers_as_in_table8(self, dcache_result):
+        # "within 2% of one, or smaller than 5.87e-3" (paper Section VI-D).
+        for metric in dcache_result.metrics.values():
+            for c in metric.coefficients:
+                nearest = round(c)
+                assert (
+                    abs(c - nearest) <= 0.02 * max(abs(nearest), 1.0)
+                    or abs(c) < 5.87e-3
+                ), (metric.metric, c)
+
+    def test_rounded_combinations_are_exact_integers(self, dcache_result):
+        expected = {
+            "L1 Misses.": {"MEM_LOAD_RETIRED:L1_MISS": 1.0},
+            "L1 Hits.": {"MEM_LOAD_RETIRED:L1_HIT": 1.0},
+            "L1 Reads.": {
+                "MEM_LOAD_RETIRED:L1_MISS": 1.0,
+                "MEM_LOAD_RETIRED:L1_HIT": 1.0,
+            },
+            "L2 Hits.": {"L2_RQSTS:DEMAND_DATA_RD_HIT": 1.0},
+            "L2 Misses.": {
+                "MEM_LOAD_RETIRED:L1_MISS": 1.0,
+                "L2_RQSTS:DEMAND_DATA_RD_HIT": -1.0,
+            },
+            "L3 Hits.": {"MEM_LOAD_RETIRED:L3_HIT": 1.0},
+        }
+        for name, terms in expected.items():
+            rounded = dcache_result.rounded_metrics[name]
+            assert rounded.terms() == terms, name
+
+    def test_flaky_mem_load_l2_events_were_filtered_by_noise(self, dcache_result):
+        assert "MEM_LOAD_RETIRED:L2_HIT" in dcache_result.noise.noisy
+
+    def test_no_zero_variability_cluster(self, dcache_result):
+        # Fig 2d: the multithreaded benchmark leaves nothing bit-exact.
+        values = np.array(list(dcache_result.noise.variabilities.values()))
+        assert (values > 0).all()
+
+    def test_presets_emitted_for_composable_metrics(self, dcache_result):
+        assert "PAPI_L2_DCM" in dcache_result.presets
+        preset = dcache_result.presets.get("PAPI_L2_DCM")
+        assert set(preset.native_events) <= self.PAPER_EVENTS
+
+
+class TestPipelineWiring:
+    def test_unknown_domain(self):
+        with pytest.raises(KeyError):
+            AnalysisPipeline.for_domain("nope", aurora_node())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(tau=0.0)
+        with pytest.raises(ValueError):
+            PipelineConfig(repetitions=1)
+
+    def test_summary_renders(self, branch_result):
+        text = branch_result.summary()
+        assert "BR_MISP_RETIRED" in text
+        assert "NOT COMPOSABLE" in text
+
+    def test_unknown_metric_lookup(self, branch_result):
+        with pytest.raises(KeyError):
+            branch_result.metric("nope")
+
+
+def round_terms(metric, tol=1e-6):
+    """Terms with near-zero coefficients dropped and the rest rounded."""
+    return {
+        e: round(c)
+        for e, c in zip(metric.event_names, metric.coefficients)
+        if abs(c) > tol
+    }

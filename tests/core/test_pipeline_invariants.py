@@ -1,0 +1,118 @@
+"""Cross-cutting consistency invariants every pipeline result must satisfy,
+checked uniformly over all five domains.
+
+These are the structural guarantees downstream code relies on, independent
+of any particular paper number: stage censuses add up, selections are
+subsets of survivors, X-hat really is linearly independent and really is
+the claimed columns of X, errors are bounded, presets mirror the
+composable metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalysisPipeline
+from repro.hardware import aurora_node, frontier_node
+
+DOMAINS = ["cpu_flops", "branch", "dcache", "dtlb", "gpu_flops"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    cpu = aurora_node()
+    for domain in ("cpu_flops", "branch", "dcache", "dtlb"):
+        out[domain] = AnalysisPipeline.for_domain(domain, cpu).run()
+    out["gpu_flops"] = AnalysisPipeline.for_domain("gpu_flops", frontier_node()).run()
+    return out
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+class TestStageCensus:
+    def test_event_counts_add_up(self, results, domain):
+        r = results[domain]
+        measured = r.measurement.n_events
+        assert r.noise.n_measured == measured
+        assert len(r.noise.kept) + len(r.noise.noisy) + len(
+            r.noise.discarded_zero
+        ) == measured
+        assert len(r.representation.event_names) + len(
+            r.representation.rejected
+        ) == len(r.noise.kept)
+
+    def test_selection_is_subset_of_survivors(self, results, domain):
+        r = results[domain]
+        assert set(r.selected_events) <= set(r.representation.event_names)
+        assert len(r.selected_events) == r.qrcp.rank
+
+    def test_selection_bounded_by_basis_rank(self, results, domain):
+        r = results[domain]
+        assert 0 < len(r.selected_events) <= r.representation.basis.n_dimensions
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+class TestXHat:
+    def test_xhat_matches_representations(self, results, domain):
+        r = results[domain]
+        for k, event in enumerate(r.selected_events):
+            assert np.array_equal(
+                r.x_hat[:, k], r.representation.representation(event)
+            ), event
+
+    def test_xhat_full_column_rank(self, results, domain):
+        r = results[domain]
+        assert np.linalg.matrix_rank(r.x_hat, tol=1e-8) == r.x_hat.shape[1]
+
+    def test_xhat_square_or_overdetermined(self, results, domain):
+        # The paper's Section V guarantee.
+        r = results[domain]
+        assert r.x_hat.shape[0] >= r.x_hat.shape[1]
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+class TestMetricsAndPresets:
+    def test_errors_bounded(self, results, domain):
+        for metric in results[domain].metrics.values():
+            assert 0.0 <= metric.error <= 1.0 + 1e-9, metric.metric
+
+    def test_metric_events_match_selection(self, results, domain):
+        r = results[domain]
+        for metric in r.metrics.values():
+            assert metric.event_names == tuple(r.selected_events)
+
+    def test_presets_exactly_the_composable_metrics(self, results, domain):
+        r = results[domain]
+        composable = {m.metric for m in r.metrics.values() if m.composable}
+        from repro.papi.presets import PAPI_PRESET_NAMES
+
+        expected_names = {PAPI_PRESET_NAMES.get(m, m) for m in composable}
+        assert {p.name for p in r.presets} == expected_names
+
+    def test_rounded_metrics_cover_all_metrics(self, results, domain):
+        r = results[domain]
+        assert set(r.rounded_metrics) == set(r.metrics)
+
+    def test_every_signature_produced_a_metric(self, results, domain):
+        from repro.core.signatures import signatures_for
+
+        r = results[domain]
+        assert set(r.metrics) == {s.name for s in signatures_for(domain)}
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+class TestResidualBookkeeping:
+    def test_residuals_recorded_for_all_scored_events(self, results, domain):
+        r = results[domain]
+        scored = set(r.representation.event_names) | set(r.representation.rejected)
+        assert set(r.representation.residuals) == scored
+
+    def test_kept_events_within_threshold(self, results, domain):
+        r = results[domain]
+        threshold = r.config.representation_threshold
+        for event in r.representation.event_names:
+            assert r.representation.residuals[event] <= threshold, event
+
+    def test_variabilities_of_kept_events_within_tau(self, results, domain):
+        r = results[domain]
+        for event in r.noise.kept:
+            assert r.noise.variabilities[event] <= r.config.tau, event

@@ -1,0 +1,68 @@
+"""Tests for the paper-style report module."""
+
+import pytest
+
+from repro.core import AnalysisPipeline
+from repro.core.report import metric_table_rows, render_report, write_report
+from repro.hardware import aurora_node
+
+
+@pytest.fixture(scope="module")
+def branch_result():
+    return AnalysisPipeline.for_domain("branch", aurora_node()).run()
+
+
+class TestMetricTableRows:
+    def test_rows_cover_all_metrics(self, branch_result):
+        rows = metric_table_rows(branch_result)
+        assert len(rows) == len(branch_result.metrics)
+        names = {row[0] for row in rows}
+        assert "Mispredicted Branches." in names
+
+    def test_uncomposable_metric_marked(self, branch_result):
+        rows = {row[0]: row for row in metric_table_rows(branch_result)}
+        combo = rows["Conditional Branches Executed."][1]
+        assert combo == "(no combination: uncomposable)"
+
+    def test_coefficient_floor_drops_noise_terms(self, branch_result):
+        rows = {row[0]: row for row in metric_table_rows(branch_result)}
+        combo = rows["Mispredicted Branches."][1]
+        assert combo == "+1 x BR_MISP_RETIRED"
+
+    def test_rounded_variant(self, branch_result):
+        rows = metric_table_rows(branch_result, rounded=True)
+        assert len(rows) == len(branch_result.rounded_metrics)
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self, branch_result):
+        text = render_report(branch_result)
+        for heading in (
+            "## Pipeline census",
+            "## Selected events (Section V)",
+            "## Metric definitions (Section VI)",
+            "## Rounded definitions (Section VI-D)",
+            "## Event variability (Section IV / Figure 2)",
+        ):
+            assert heading in text, heading
+
+    def test_census_numbers_consistent(self, branch_result):
+        text = render_report(branch_result, include_figures=False)
+        assert str(branch_result.noise.n_measured) in text
+        assert f"alpha={branch_result.config.alpha:g}" in text
+
+    def test_figures_optional(self, branch_result):
+        text = render_report(branch_result, include_figures=False)
+        assert "Figure 2" not in text
+
+    def test_selected_events_listed(self, branch_result):
+        text = render_report(branch_result, include_figures=False)
+        for event in branch_result.selected_events:
+            assert event in text
+
+
+class TestWriteReport:
+    def test_writes_markdown(self, branch_result, tmp_path):
+        path = write_report(branch_result, tmp_path / "sub" / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# Event analysis report — branch")

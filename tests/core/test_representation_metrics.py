@@ -1,0 +1,180 @@
+"""Tests for the representation stage and metric composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import branch_basis, cpu_flops_basis
+from repro.core.metrics import MetricDefinition, compose_metric, round_coefficients
+from repro.core.representation import represent_events
+from repro.core.signatures import Signature, branch_signatures
+
+
+class TestRepresentEvents:
+    def test_pure_event_recovers_unit_representation(self):
+        basis = branch_basis()
+        m = basis.expectation("T").reshape(-1, 1)
+        report = represent_events(basis, ["TAKEN"], m, threshold=1e-8)
+        assert report.event_names == ["TAKEN"]
+        assert np.allclose(report.representation("TAKEN"), [0, 0, 1, 0, 0], atol=1e-12)
+
+    def test_scaled_combination_recovered(self):
+        basis = branch_basis()
+        m = (2.0 * basis.expectation("CR") + 0.5 * basis.expectation("M")).reshape(-1, 1)
+        report = represent_events(basis, ["combo"], m, threshold=1e-8)
+        assert np.allclose(report.representation("combo"), [0, 2.0, 0, 0, 0.5], atol=1e-12)
+
+    def test_constant_overhead_rejected(self):
+        # The loop-overhead contamination case: a constant per-iteration
+        # count is outside the span of the branch basis.
+        basis = branch_basis()
+        m = (basis.expectation("CR") + 2.0 * np.ones(basis.n_rows)).reshape(-1, 1)
+        report = represent_events(basis, ["INST_RETIRED:ANY"], m, threshold=1e-6)
+        assert report.rejected == ["INST_RETIRED:ANY"]
+        assert report.residuals["INST_RETIRED:ANY"] > 1e-3
+
+    def test_lenient_threshold_keeps_contaminated_event(self):
+        basis = branch_basis()
+        m = (basis.expectation("CR") + 0.01 * np.ones(basis.n_rows)).reshape(-1, 1)
+        report = represent_events(basis, ["e"], m, threshold=0.25)
+        assert report.event_names == ["e"]
+
+    def test_zero_column_rejected(self):
+        basis = branch_basis()
+        report = represent_events(
+            basis, ["dead"], np.zeros((basis.n_rows, 1)), threshold=0.1
+        )
+        assert report.rejected == ["dead"]
+        assert report.residuals["dead"] == 1.0
+
+    def test_shape_mismatch(self):
+        basis = branch_basis()
+        with pytest.raises(ValueError):
+            represent_events(basis, ["a"], np.zeros((3, 1)), threshold=0.1)
+
+    def test_unknown_event_lookup(self):
+        basis = branch_basis()
+        report = represent_events(basis, [], np.zeros((basis.n_rows, 0)), 0.1)
+        with pytest.raises(KeyError):
+            report.representation("missing")
+
+    def test_fma_double_count_representation(self):
+        # A measurement equal to nonFMA + 2*FMA expectations yields the
+        # (1, 2) representation that produces the paper's 0.8 coefficients.
+        basis = cpu_flops_basis()
+        m = (basis.expectation("DSCAL") + 2.0 * basis.expectation("DSCAL_FMA")).reshape(-1, 1)
+        report = represent_events(basis, ["fp"], m, threshold=1e-8)
+        x = report.representation("fp")
+        assert x[basis.dimension_index("DSCAL")] == pytest.approx(1.0)
+        assert x[basis.dimension_index("DSCAL_FMA")] == pytest.approx(2.0)
+        assert np.allclose(np.delete(x, [4, 12]), 0.0, atol=1e-12)
+
+
+class TestComposeMetric:
+    def _sigs(self):
+        return {s.name: s for s in branch_signatures()}
+
+    def test_exact_composition(self):
+        # X-hat = [CR, T, M, CR+D] (the paper's selected branch events).
+        x_hat = np.array(
+            [
+                [0.0, 0.0, 0.0, 0.0],
+                [1.0, 0.0, 0.0, 1.0],
+                [0.0, 1.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0, 0.0],
+            ]
+        )
+        events = ["COND", "TAKEN", "MISP", "ALL"]
+        d = compose_metric(
+            "Unconditional Branches.", x_hat, events, self._sigs()["Unconditional Branches."]
+        )
+        assert d.error < 1e-12
+        assert d.composable
+        assert np.allclose(d.coefficients, [-1.0, 0.0, 0.0, 1.0], atol=1e-10)
+
+    def test_uncomposable_signature(self):
+        x_hat = np.array([[0.0], [1.0], [0.0], [0.0], [0.0]])
+        d = compose_metric(
+            "Conditional Branches Executed.",
+            x_hat,
+            ["COND"],
+            self._sigs()["Conditional Branches Executed."],
+        )
+        assert np.isclose(d.error, 1.0)
+        assert not d.composable
+
+    def test_evaluate_applies_combination(self):
+        d = MetricDefinition(
+            metric="m",
+            event_names=("a", "b"),
+            coefficients=np.array([2.0, -1.0]),
+            error=0.0,
+        )
+        assert d.evaluate({"a": 10.0, "b": 3.0}) == 17.0
+
+    def test_terms_drop_zeros(self):
+        d = MetricDefinition(
+            metric="m", event_names=("a", "b"), coefficients=np.array([1.0, 0.0]), error=0.0
+        )
+        assert d.terms() == {"a": 1.0}
+
+    def test_as_preset_maps_papi_name(self):
+        d = MetricDefinition(
+            metric="Mispredicted Branches.",
+            event_names=("BR_MISP_RETIRED",),
+            coefficients=np.array([1.0]),
+            error=1e-16,
+        )
+        preset = d.as_preset()
+        assert preset.name == "PAPI_BR_MSP"
+        assert preset.evaluate({"BR_MISP_RETIRED": 7.0}) == 7.0
+
+    def test_shape_validations(self):
+        with pytest.raises(ValueError):
+            MetricDefinition("m", ("a",), np.array([1.0, 2.0]), 0.0)
+        sig = branch_signatures()[0]
+        with pytest.raises(ValueError):
+            compose_metric("m", np.zeros((5, 2)), ["a"], sig)
+        with pytest.raises(ValueError):
+            compose_metric("m", np.zeros((3, 1)), ["a"], sig)
+
+
+class TestRoundCoefficients:
+    def test_snaps_near_integers(self):
+        d = MetricDefinition(
+            metric="m",
+            event_names=("a", "b", "c"),
+            coefficients=np.array([1.002, -0.998, 0.003]),
+            error=1e-16,
+        )
+        r = round_coefficients(d)
+        assert r.coefficients.tolist() == [1.0, -1.0, 0.0]
+
+    def test_leaves_genuine_fractions(self):
+        d = MetricDefinition(
+            metric="m", event_names=("a",), coefficients=np.array([0.8]), error=0.2
+        )
+        r = round_coefficients(d)
+        assert r.coefficients[0] == pytest.approx(0.8)
+
+    def test_recomputes_error_with_xhat(self):
+        sig = Signature("s", "b", np.array([1.0, 0.0]))
+        x_hat = np.array([[1.0], [0.001]])
+        d = MetricDefinition(
+            metric="s",
+            event_names=("e",),
+            coefficients=np.array([0.999]),
+            error=0.5,
+            signature=sig,
+        )
+        r = round_coefficients(d, x_hat=x_hat)
+        assert r.coefficients[0] == 1.0
+        assert r.error != 0.5  # recomputed
+
+    def test_preserves_metadata(self):
+        d = MetricDefinition(
+            metric="m", event_names=("a",), coefficients=np.array([1.01]), error=0.0
+        )
+        r = round_coefficients(d)
+        assert r.metric == "m"
+        assert r.event_names == ("a",)

@@ -1,0 +1,198 @@
+"""Tests for the rounding/scoring formulas and both QRCP algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qrcp import qrcp_specialized, qrcp_standard
+from repro.core.rounding import round_to_tolerance, score_column, score_columns
+
+
+class TestRounding:
+    def test_rounds_to_grid(self):
+        out = round_to_tolerance(np.array([1.002, 0.0004, -0.49]), 0.01)
+        assert np.allclose(out, [1.0, 0.0, -0.49])
+
+    def test_exact_grid_points_unchanged(self):
+        out = round_to_tolerance(np.array([0.05, -0.1]), 0.05)
+        assert np.allclose(out, [0.05, -0.1])
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            round_to_tolerance(np.ones(2), 0.0)
+
+    @settings(max_examples=50)
+    @given(st.floats(-100, 100, allow_nan=False), st.floats(1e-4, 1.0))
+    def test_property_within_half_alpha(self, u, alpha):
+        r = round_to_tolerance(np.array([u]), alpha)[0]
+        assert abs(r - u) <= alpha / 2 + 1e-12
+
+
+class TestScoring:
+    def test_paper_example(self):
+        # alpha=0.01; (1.002, 0.001, 0.5, 1.5) -> 1 + 0 + 1/0.5 + 1.5 = 4.5
+        col = np.array([1.002, 0.001, 0.5, 1.5])
+        assert score_column(col, 0.01) == pytest.approx(4.5)
+
+    def test_pure_basis_vector_scores_one(self):
+        assert score_column(np.array([0.0, 1.0, 0.0]), 1e-3) == 1.0
+
+    def test_large_values_penalized(self):
+        small = score_column(np.array([1.0, 1.0]), 1e-3)
+        large = score_column(np.array([100.0, 1.0]), 1e-3)
+        assert large > small
+
+    def test_tiny_fractions_penalized(self):
+        clean = score_column(np.array([1.0]), 1e-3)
+        fraction = score_column(np.array([0.01]), 1e-3)
+        assert fraction > clean
+
+    def test_noise_below_alpha_rounds_away(self):
+        noisy = np.array([1.0002, 0.0001, 0.0])
+        assert score_column(noisy, 5e-4) == 1.0
+
+    def test_negative_values_use_magnitude(self):
+        assert score_column(np.array([-2.0]), 1e-3) == 2.0
+
+    def test_score_columns_vectorizes(self):
+        m = np.array([[1.0, 0.5], [0.0, 1.5]])
+        expected = [score_column(m[:, 0], 0.01), score_column(m[:, 1], 0.01)]
+        assert np.allclose(score_columns(m, 0.01), expected)
+
+
+class TestQRCPStandard:
+    def test_picks_largest_norm_first(self):
+        x = np.column_stack([np.ones(4), 10 * np.ones(4) + np.arange(4)])
+        result = qrcp_standard(x)
+        assert result.permutation[0] == 1
+
+    def test_detects_rank(self):
+        base = np.array([1.0, 2.0, 3.0, 4.0])
+        x = np.column_stack([base, 2 * base, np.array([1.0, 0.0, 0.0, 0.0])])
+        result = qrcp_standard(x)
+        assert result.rank == 2
+
+    def test_full_rank_identity(self):
+        result = qrcp_standard(np.eye(3))
+        assert result.rank == 3
+        assert sorted(result.selected.tolist()) == [0, 1, 2]
+
+    def test_rejects_vector_input(self):
+        with pytest.raises(ValueError):
+            qrcp_standard(np.ones(3))
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 10_000))
+    def test_property_selected_columns_independent(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = 6, 8
+        x = rng.normal(size=(m, n))
+        # Duplicate some columns to force dependence.
+        x[:, 5] = 2 * x[:, 1]
+        x[:, 7] = x[:, 0] - x[:, 2]
+        result = qrcp_standard(x)
+        sel = x[:, result.selected]
+        assert np.linalg.matrix_rank(sel) == result.rank
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 10_000))
+    def test_property_rank_matches_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(5, 7))
+        x[:, 6] = x[:, 0] + x[:, 1]
+        assert qrcp_standard(x).rank == np.linalg.matrix_rank(x)
+
+
+class TestQRCPSpecialized:
+    def test_prefers_basis_aligned_over_large_norm(self):
+        """The defining behaviour: standard QRCP pivots on the huge column;
+        the specialized scheme pivots on the expectation-like one."""
+        clean = np.array([0.0, 1.0, 0.0, 0.0])
+        huge = np.array([900.0, 350.0, 120.0, 77.0])
+        x = np.column_stack([huge, clean])
+        assert qrcp_standard(x).permutation[0] == 0
+        assert qrcp_specialized(x, alpha=1e-3).permutation[0] == 1
+
+    def test_excludes_near_zero_columns(self):
+        x = np.column_stack([np.array([1.0, 0.0]), np.array([1e-6, 1e-6])])
+        result = qrcp_specialized(x, alpha=1e-3)
+        assert result.rank == 1
+        assert result.selected.tolist() == [0]
+
+    def test_terminates_on_all_zero(self):
+        result = qrcp_specialized(np.zeros((3, 2)), alpha=1e-3)
+        assert result.rank == 0
+
+    def test_excludes_dependent_duplicates(self):
+        e = np.array([0.0, 1.0, 0.0])
+        x = np.column_stack([e, e, np.array([1.0, 0.0, 0.0])])
+        result = qrcp_specialized(x, alpha=1e-3)
+        assert result.rank == 2
+        assert 0 in result.selected and 2 in result.selected
+
+    def test_tie_break_prefers_first_index(self):
+        e1 = np.array([1.0, 0.0])
+        e2 = np.array([0.0, 1.0])
+        result = qrcp_specialized(np.column_stack([e1, e2]), alpha=1e-3)
+        assert result.permutation[0] == 0
+
+    def test_tie_break_prefers_smaller_norm(self):
+        # Same score (both are two-ones columns), different norms.
+        a = np.array([2.0, 0.0, 0.0])   # score 2, norm 2
+        b = np.array([1.0, 1.0, 0.0])   # score 2, norm sqrt(2)
+        result = qrcp_specialized(np.column_stack([a, b]), alpha=1e-3)
+        assert result.permutation[0] == 1
+
+    def test_noise_below_half_alpha_is_ignored_for_scoring(self):
+        # R(u) snaps to the nearest multiple of alpha, so only noise below
+        # alpha/2 vanishes; this is why the paper uses a larger alpha for
+        # the noisier cache events.
+        noisy_e = np.array([1.0002, 0.0001, 0.0002])
+        junk = np.array([1.3, 0.4, 0.2])
+        result = qrcp_specialized(np.column_stack([junk, noisy_e]), alpha=5e-4)
+        assert result.permutation[0] == 1
+
+    def test_noise_above_half_alpha_inflates_score(self):
+        # The flip side of the rounding formula: residual noise just above
+        # alpha/2 rounds to alpha and is scored 1/alpha — heavily penalized.
+        assert score_column(np.array([1.0, 3e-4]), 5e-4) == pytest.approx(
+            1.0 + 1.0 / 5e-4
+        )
+
+    def test_fma_style_selection(self):
+        """Mini version of the paper's CPU-FLOPs selection: pure e_k+2e_fma
+        events chosen; aggregate (sum) excluded as dependent."""
+        cols = []
+        for k in range(3):
+            c = np.zeros(6)
+            c[k] = 1.0
+            c[3 + k] = 2.0
+            cols.append(c)
+        aggregate = np.sum(cols, axis=0)
+        x = np.column_stack([aggregate] + cols)
+        result = qrcp_specialized(x, alpha=5e-4)
+        assert result.rank == 3
+        assert sorted(result.selected.tolist()) == [1, 2, 3]
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            qrcp_specialized(np.eye(2), alpha=0.0)
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 10_000))
+    def test_property_selected_columns_independent(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(6, 9))
+        x[:, 8] = 3 * x[:, 2]
+        result = qrcp_specialized(x, alpha=1e-6)
+        sel = x[:, result.selected]
+        assert np.linalg.matrix_rank(sel, tol=1e-8) == result.rank
+
+    @settings(max_examples=40)
+    @given(st.integers(0, 10_000))
+    def test_property_rank_never_exceeds_dimensions(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(4, 10))
+        result = qrcp_specialized(x, alpha=1e-6)
+        assert result.rank <= 4

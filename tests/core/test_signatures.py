@@ -1,0 +1,126 @@
+"""Tests pinning the signature tables to the paper's Tables I-IV."""
+
+import numpy as np
+import pytest
+
+from repro.core.basis import cpu_flops_basis, gpu_flops_basis
+from repro.core.signatures import (
+    Signature,
+    branch_signatures,
+    cpu_flops_signatures,
+    dcache_signatures,
+    gpu_flops_signatures,
+    signatures_for,
+)
+
+
+def _by_name(signatures):
+    return {s.name: s for s in signatures}
+
+
+class TestCPUFlopsSignatures:
+    """Paper Table I, verbatim."""
+
+    TABLE_I = {
+        "SP Instrs.": [1, 1, 1, 1, 0, 0, 0, 0, 2, 2, 2, 2, 0, 0, 0, 0],
+        "SP Ops.": [1, 4, 8, 16, 0, 0, 0, 0, 2, 8, 16, 32, 0, 0, 0, 0],
+        "SP FMA Instrs.": [0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 2, 0, 0, 0, 0],
+        "DP Instrs.": [0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 2, 2, 2, 2],
+        "DP Ops.": [0, 0, 0, 0, 1, 2, 4, 8, 0, 0, 0, 0, 2, 4, 8, 16],
+        "DP FMA Instrs.": [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 2],
+    }
+
+    @pytest.mark.parametrize("name", sorted(TABLE_I))
+    def test_signature_matches_table1(self, name):
+        sigs = _by_name(cpu_flops_signatures())
+        assert sigs[name].coords.tolist() == [float(v) for v in self.TABLE_I[name]]
+
+    def test_all_six_present(self):
+        assert len(cpu_flops_signatures()) == 6
+
+    def test_dp_flops_paper_composition(self):
+        # Section III-B: 1*DSCAL + 2*D128 + 4*D256 + 8*D512 + 2*DSCAL_FMA +
+        # 4*D128_FMA + 8*D256_FMA + 16*D512_FMA == the DP Ops signature.
+        basis = cpu_flops_basis()
+        sig = _by_name(cpu_flops_signatures())["DP Ops."]
+        manual = (
+            1 * basis.expectation("DSCAL")
+            + 2 * basis.expectation("D128")
+            + 4 * basis.expectation("D256")
+            + 8 * basis.expectation("D512")
+            + 2 * basis.expectation("DSCAL_FMA")
+            + 4 * basis.expectation("D128_FMA")
+            + 8 * basis.expectation("D256_FMA")
+            + 16 * basis.expectation("D512_FMA")
+        )
+        assert np.allclose(sig.in_kernel_space(basis), manual)
+
+
+class TestGPUFlopsSignatures:
+    """Paper Table II, verbatim."""
+
+    TABLE_II = {
+        "HP Add Ops.": [1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+        "HP Sub Ops.": [0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+        "HP Add and Sub Ops.": [1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+        "All HP Ops.": [1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 2, 0, 0],
+        "All SP Ops.": [0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 2, 0],
+        "All DP Ops.": [0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 2],
+    }
+
+    @pytest.mark.parametrize("name", sorted(TABLE_II))
+    def test_signature_matches_table2(self, name):
+        sigs = _by_name(gpu_flops_signatures())
+        assert sigs[name].coords.tolist() == [float(v) for v in self.TABLE_II[name]]
+
+
+class TestBranchSignatures:
+    """Paper Table III, verbatim."""
+
+    TABLE_III = {
+        "Unconditional Branches.": [0, 0, 0, 1, 0],
+        "Conditional Branches Taken.": [0, 0, 1, 0, 0],
+        "Conditional Branches Not Taken.": [0, 1, -1, 0, 0],
+        "Mispredicted Branches.": [0, 0, 0, 0, 1],
+        "Correctly Predicted Branches.": [0, 1, 0, 0, -1],
+        "Conditional Branches Retired.": [0, 1, 0, 0, 0],
+        "Conditional Branches Executed.": [1, 0, 0, 0, 0],
+    }
+
+    @pytest.mark.parametrize("name", sorted(TABLE_III))
+    def test_signature_matches_table3(self, name):
+        sigs = _by_name(branch_signatures())
+        assert sigs[name].coords.tolist() == [float(v) for v in self.TABLE_III[name]]
+
+
+class TestDCacheSignatures:
+    """Paper Table IV, verbatim."""
+
+    TABLE_IV = {
+        "L1 Misses.": [1, 0, 0, 0],
+        "L1 Hits.": [0, 1, 0, 0],
+        "L1 Reads.": [1, 1, 0, 0],
+        "L2 Hits.": [0, 0, 1, 0],
+        "L2 Misses.": [1, 0, -1, 0],
+        "L3 Hits.": [0, 0, 0, 1],
+    }
+
+    @pytest.mark.parametrize("name", sorted(TABLE_IV))
+    def test_signature_matches_table4(self, name):
+        sigs = _by_name(dcache_signatures())
+        assert sigs[name].coords.tolist() == [float(v) for v in self.TABLE_IV[name]]
+
+
+class TestSignatureAPI:
+    def test_signatures_for_unknown_domain(self):
+        with pytest.raises(KeyError):
+            signatures_for("nope")
+
+    def test_in_kernel_space_rejects_wrong_basis(self):
+        sig = branch_signatures()[0]
+        with pytest.raises(ValueError):
+            sig.in_kernel_space(cpu_flops_basis())
+
+    def test_coords_are_float_arrays(self):
+        sig = Signature("x", "b", [1, 2, 3])
+        assert sig.coords.dtype == np.float64

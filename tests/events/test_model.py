@@ -1,0 +1,121 @@
+"""Tests for RawEvent and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.events import EventDomain, EventRegistry, RawEvent, relative_gaussian
+from repro.activity import Activity
+
+
+def _event(name="E", qualifier="", domain=EventDomain.OTHER, response=None, **kw):
+    return RawEvent(
+        name=name, qualifier=qualifier, domain=domain, response=response or {}, **kw
+    )
+
+
+class TestRawEvent:
+    def test_full_name_with_qualifier(self):
+        e = _event("BR_INST_RETIRED", "COND", EventDomain.BRANCH)
+        assert e.full_name == "BR_INST_RETIRED:COND"
+
+    def test_full_name_unqualified(self):
+        assert _event("BR_MISP_RETIRED").full_name == "BR_MISP_RETIRED"
+
+    def test_full_name_gpu_device(self):
+        e = _event("SQ_INSTS_VALU_ADD_F16", device=3)
+        assert e.full_name == "rocm:::SQ_INSTS_VALU_ADD_F16:device=3"
+
+    def test_true_count_is_linear_functional(self):
+        e = _event(response={"a": 2.0, "b": -1.0})
+        act = Activity({"a": 10.0, "b": 4.0, "c": 99.0})
+        assert e.true_count(act) == 16.0
+
+    def test_unknown_activity_keys_read_zero(self):
+        e = _event(response={"missing": 5.0})
+        assert e.true_count(Activity({})) == 0.0
+
+    def test_read_applies_noise_deterministically(self):
+        e = _event(response={"a": 1.0}, noise=relative_gaussian(1e-2))
+        act = Activity({"a": 1000.0})
+        r1 = e.read(act, np.random.default_rng(1))
+        r2 = e.read(act, np.random.default_rng(1))
+        assert r1 == r2
+        assert r1 != e.true_count(act)
+
+    def test_fma_double_count_semantics(self):
+        # The catalog convention the paper's Table V depends on.
+        e = _event(
+            "FP_ARITH_INST_RETIRED",
+            "SCALAR_DOUBLE",
+            EventDomain.FLOPS,
+            response={"instr.fp.scalar.dp.nonfma": 1.0, "instr.fp.scalar.dp.fma": 2.0},
+        )
+        nonfma = Activity({"instr.fp.scalar.dp.nonfma": 24.0})
+        fma = Activity({"instr.fp.scalar.dp.fma": 12.0})
+        assert e.true_count(nonfma) == 24.0
+        assert e.true_count(fma) == 24.0  # 12 FMA instructions count twice
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            _event(name="")
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            RawEvent(name="X", domain="bogus")
+
+    def test_responds_to(self):
+        e = _event(response={"cache.l1d.demand_hit": 1.0})
+        assert e.responds_to("cache.l1d")
+        assert not e.responds_to("branch")
+
+
+class TestEventRegistry:
+    def test_add_and_get(self):
+        reg = EventRegistry(name="t")
+        e = _event("A", "X")
+        reg.add(e)
+        assert reg.get("A:X") is e
+        assert "A:X" in reg
+        assert len(reg) == 1
+
+    def test_duplicate_rejected(self):
+        reg = EventRegistry([_event("A")])
+        with pytest.raises(ValueError):
+            reg.add(_event("A"))
+
+    def test_missing_lookup_raises_with_context(self):
+        reg = EventRegistry(name="spr")
+        with pytest.raises(KeyError, match="spr"):
+            reg.get("NOPE")
+
+    def test_preserves_insertion_order(self):
+        events = [_event(f"E{i}") for i in range(5)]
+        reg = EventRegistry(events)
+        assert reg.full_names == [f"E{i}" for i in range(5)]
+
+    def test_select_by_domain(self):
+        reg = EventRegistry(
+            [
+                _event("A", domain=EventDomain.BRANCH),
+                _event("B", domain=EventDomain.CACHE),
+                _event("C", domain=EventDomain.BRANCH),
+            ]
+        )
+        sel = reg.select(domains=[EventDomain.BRANCH])
+        assert sel.full_names == ["A", "C"]
+
+    def test_select_by_prefix_and_predicate(self):
+        reg = EventRegistry([_event("BR_A"), _event("BR_B"), _event("FP_A")])
+        assert reg.select(prefix="BR_").full_names == ["BR_A", "BR_B"]
+        sel = reg.select(predicate=lambda e: e.name.endswith("A"))
+        assert sel.full_names == ["BR_A", "FP_A"]
+
+    def test_select_by_device(self):
+        reg = EventRegistry([_event("X", device=0), _event("X2", device=1)])
+        assert reg.select(device=1).full_names == ["rocm:::X2:device=1"]
+
+    def test_domains_histogram(self):
+        reg = EventRegistry(
+            [_event("A", domain=EventDomain.BRANCH), _event("B", domain=EventDomain.BRANCH)]
+        )
+        assert reg.domains() == {EventDomain.BRANCH: 2}

@@ -1,0 +1,167 @@
+"""Tests for the measurement-noise models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.noise import (
+    NoiseModel,
+    no_noise,
+    quantized,
+    relative_gaussian,
+    spiky,
+)
+
+
+class TestNoiseModelValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(kind="pink")
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(kind="relative_gaussian", sigma=-0.1)
+
+    def test_deterministic_flag(self):
+        assert no_noise().is_deterministic
+        assert not relative_gaussian(1e-3).is_deterministic
+        assert not spiky(1e-3, 0.1, 1.0).is_deterministic
+
+
+class TestNoNoise:
+    def test_identity_without_rng(self):
+        assert no_noise().apply(42.0, None) == 42.0
+
+    @given(st.floats(-1e9, 1e9, allow_nan=False))
+    def test_identity_any_value(self, v):
+        assert no_noise().apply(v, None) == v
+
+
+class TestRelativeGaussian:
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            relative_gaussian(1e-3).apply(1.0, None)
+
+    def test_same_seed_same_reading(self):
+        model = relative_gaussian(1e-2)
+        r1 = model.apply(100.0, np.random.default_rng(5))
+        r2 = model.apply(100.0, np.random.default_rng(5))
+        assert r1 == r2
+
+    def test_different_seeds_differ(self):
+        model = relative_gaussian(1e-2)
+        r1 = model.apply(100.0, np.random.default_rng(5))
+        r2 = model.apply(100.0, np.random.default_rng(6))
+        assert r1 != r2
+
+    def test_relative_magnitude(self):
+        model = relative_gaussian(1e-3)
+        readings = np.array(
+            [model.apply(1e6, np.random.default_rng(s)) for s in range(200)]
+        )
+        rel = np.std(readings) / 1e6
+        assert 3e-4 < rel < 3e-3  # close to the configured sigma
+
+    def test_zero_count_with_floor_reads_positive_sometimes(self):
+        model = relative_gaussian(0.0, floor=5.0)
+        readings = [model.apply(0.0, np.random.default_rng(s)) for s in range(50)]
+        assert all(r >= 0.0 for r in readings)
+        assert any(r > 0.0 for r in readings)
+
+    def test_never_negative(self):
+        model = relative_gaussian(2.0)  # huge sigma to force negatives pre-clamp
+        readings = [model.apply(1.0, np.random.default_rng(s)) for s in range(100)]
+        assert min(readings) >= 0.0
+
+
+class TestSpiky:
+    def test_spikes_occur_at_configured_rate(self):
+        model = spiky(sigma=0.0, spike_rate=0.5, spike_scale=10.0)
+        readings = np.array(
+            [model.apply(100.0, np.random.default_rng(s)) for s in range(400)]
+        )
+        spiked = np.count_nonzero(readings > 150.0)
+        assert 50 < spiked < 350  # roughly half spike, loose bounds
+
+    def test_spikes_are_positive_inflations(self):
+        model = spiky(sigma=0.0, spike_rate=1.0, spike_scale=1.0)
+        reading = model.apply(100.0, np.random.default_rng(0))
+        assert reading > 100.0
+
+
+class TestApplyBatch:
+    """The vectorized hot path used by the measurement runner."""
+
+    def test_none_is_identity_copy(self):
+        values = np.array([1.0, 2.0, 0.0])
+        out = no_noise().apply_batch(values, None)
+        assert np.array_equal(out, values)
+        out[0] = 99.0
+        assert values[0] == 1.0  # a copy, not a view
+
+    def test_requires_rng_for_noisy_models(self):
+        with pytest.raises(ValueError):
+            relative_gaussian(1e-3).apply_batch(np.ones(3), None)
+
+    def test_deterministic_per_stream(self):
+        model = relative_gaussian(1e-2, floor=0.1)
+        values = np.linspace(1, 10, 7)
+        a = model.apply_batch(values, np.random.default_rng(3))
+        b = model.apply_batch(values, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+    def test_statistics_match_scalar_semantics(self):
+        # Same distribution as element-wise apply: compare moments.
+        model = relative_gaussian(5e-2)
+        values = np.full(20_000, 100.0)
+        batch = model.apply_batch(values, np.random.default_rng(0))
+        scalar = np.array(
+            [model.apply(100.0, np.random.default_rng(i)) for i in range(2_000)]
+        )
+        assert np.mean(batch) == pytest.approx(np.mean(scalar), rel=2e-3)
+        assert np.std(batch) == pytest.approx(np.std(scalar), rel=0.1)
+
+    def test_never_negative(self):
+        model = relative_gaussian(3.0)
+        out = model.apply_batch(np.full(500, 1.0), np.random.default_rng(1))
+        assert (out >= 0.0).all()
+
+    def test_spiky_rate(self):
+        model = spiky(sigma=0.0, spike_rate=0.25, spike_scale=10.0)
+        out = model.apply_batch(np.full(4_000, 100.0), np.random.default_rng(2))
+        spiked = np.count_nonzero(out > 150.0)
+        assert 500 < spiked < 1500
+
+    def test_quantized_grid(self):
+        model = quantized(quantum=16.0, sigma=1e-3)
+        out = model.apply_batch(np.linspace(0, 100, 50), np.random.default_rng(4))
+        assert np.allclose(out % 16.0, 0.0, atol=1e-9)
+
+    def test_zero_values_jitter_around_floor_scale(self):
+        model = relative_gaussian(1e-2)
+        out = model.apply_batch(np.zeros(100), np.random.default_rng(5))
+        # Zero counts use unit scale, like the scalar path.
+        assert out.max() < 0.1
+
+    def test_shape_preserved(self):
+        model = relative_gaussian(1e-3)
+        out = model.apply_batch(np.ones((3, 4, 5)), np.random.default_rng(6))
+        assert out.shape == (3, 4, 5)
+
+
+class TestQuantized:
+    def test_snaps_to_quantum(self):
+        model = quantized(quantum=64.0)
+        assert model.apply(100.0, np.random.default_rng(0)) % 64.0 == 0.0
+
+    def test_exact_multiple_unchanged(self):
+        model = quantized(quantum=64.0)
+        assert model.apply(128.0, np.random.default_rng(0)) == 128.0
+
+    @settings(max_examples=40)
+    @given(st.floats(0, 1e6, allow_nan=False), st.integers(0, 1000))
+    def test_property_always_on_grid(self, value, seed):
+        model = quantized(quantum=16.0, sigma=1e-3)
+        reading = model.apply(value, np.random.default_rng(seed))
+        assert reading % 16.0 == pytest.approx(0.0, abs=1e-9)

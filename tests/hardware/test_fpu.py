@@ -1,0 +1,61 @@
+"""Tests for the FP pipeline cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.activity import fp_instr_key
+from repro.hardware.fpu import FPUConfig, fp_pipeline_activity
+
+
+def _costs(fp_ops, int_ops=2.0, branches=1.0, config=FPUConfig()):
+    return fp_pipeline_activity(fp_ops, int_ops, branches, config)
+
+
+class TestCostModel:
+    def test_empty_kernel_has_overhead_only(self):
+        costs = _costs({})
+        assert costs["cycles.core"] > 0
+        assert costs["uops.issued"] == pytest.approx(2.0 + 1.0 + 3.0)
+
+    def test_uop_accounting(self):
+        costs = _costs({fp_instr_key("256", "dp", "fma"): 10.0})
+        assert costs["uops.issued"] == pytest.approx(10.0 + 2.0 + 1.0 + 3.0)
+        assert costs["uops.retired"] == costs["uops.issued"]
+
+    def test_throughput_bound_scales_with_work(self):
+        small = _costs({fp_instr_key("128", "sp", "nonfma"): 24.0})
+        large = _costs({fp_instr_key("128", "sp", "nonfma"): 96.0})
+        assert large["cycles.core"] > small["cycles.core"]
+
+    def test_512_bit_restricted_to_one_pipe(self):
+        narrow = _costs({fp_instr_key("256", "dp", "nonfma"): 96.0})
+        wide = _costs({fp_instr_key("512", "dp", "nonfma"): 96.0})
+        assert wide["cycles.core"] > narrow["cycles.core"]
+
+    def test_frontend_bound_kernels(self):
+        # Huge uop counts with no FP work are issue-width limited.
+        costs = _costs({}, int_ops=600.0)
+        assert costs["cycles.core"] >= 600.0 / FPUConfig().issue_width
+
+    def test_dsb_mite_split(self):
+        costs = _costs({fp_instr_key("scalar", "dp", "nonfma"): 10.0})
+        total = costs["frontend.dsb_uops"] + costs["frontend.mite_uops"]
+        assert total == pytest.approx(costs["uops.issued"])
+
+    def test_ref_cycles_fixed_ratio(self):
+        costs = _costs({fp_instr_key("scalar", "sp", "nonfma"): 48.0})
+        assert costs["cycles.ref"] == pytest.approx(costs["cycles.core"] * 0.8)
+
+    @settings(max_examples=40)
+    @given(st.floats(0, 200), st.floats(0, 200))
+    def test_property_cycles_monotone_in_fp_work(self, a, b):
+        lo, hi = sorted((a, b))
+        key = fp_instr_key("256", "dp", "nonfma")
+        assert _costs({key: hi})["cycles.core"] >= _costs({key: lo})["cycles.core"]
+
+    @settings(max_examples=40)
+    @given(st.floats(0, 100))
+    def test_property_all_counts_nonnegative(self, work):
+        costs = _costs({fp_instr_key("512", "sp", "fma"): work})
+        assert all(v >= 0.0 for v in costs.values())

@@ -1,0 +1,106 @@
+"""Tests for persistence and tabular export."""
+
+import numpy as np
+import pytest
+
+from repro.cat.measurement import MeasurementSet
+from repro.io.store import (
+    load_measurements,
+    load_presets,
+    save_measurements,
+    save_presets,
+)
+from repro.io.tables import render_markdown_table, write_csv, write_markdown
+from repro.papi.presets import PresetMetric, PresetTable
+
+
+@pytest.fixture
+def measurement():
+    rng = np.random.default_rng(0)
+    return MeasurementSet(
+        benchmark="branch",
+        row_labels=["k1", "k2", "k3"],
+        event_names=["A", "B"],
+        data=rng.random((2, 1, 3, 2)),
+    )
+
+
+class TestMeasurementStore:
+    def test_roundtrip(self, measurement, tmp_path):
+        path = save_measurements(measurement, tmp_path / "snap")
+        assert path.suffix == ".npz"
+        loaded = load_measurements(tmp_path / "snap")
+        assert loaded.benchmark == measurement.benchmark
+        assert loaded.row_labels == measurement.row_labels
+        assert loaded.event_names == measurement.event_names
+        assert np.array_equal(loaded.data, measurement.data)
+
+    def test_roundtrip_with_npz_suffix(self, measurement, tmp_path):
+        save_measurements(measurement, tmp_path / "snap.npz")
+        loaded = load_measurements(tmp_path / "snap.npz")
+        assert np.array_equal(loaded.data, measurement.data)
+
+    def test_missing_sidecar(self, measurement, tmp_path):
+        save_measurements(measurement, tmp_path / "snap")
+        (tmp_path / "snap.json").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_measurements(tmp_path / "snap")
+
+    def test_corrupt_shape_detected(self, measurement, tmp_path):
+        save_measurements(measurement, tmp_path / "snap")
+        sidecar = tmp_path / "snap.json"
+        text = sidecar.read_text().replace('"benchmark": "branch"', '"benchmark": "branch"')
+        import json
+
+        meta = json.loads(sidecar.read_text())
+        meta["shape"][0] += 1
+        sidecar.write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="corrupt"):
+            load_measurements(tmp_path / "snap")
+
+
+class TestPresetStore:
+    def test_roundtrip(self, tmp_path):
+        table = PresetTable("spr")
+        table.define(
+            PresetMetric(
+                name="PAPI_DP_OPS",
+                terms={"FP_A": 2.0, "FP_B": 1.0},
+                fitness=1e-16,
+                description="DP FLOPs",
+            )
+        )
+        path = save_presets(table, tmp_path / "presets.json")
+        loaded = load_presets(path)
+        assert loaded.architecture == "spr"
+        preset = loaded.get("PAPI_DP_OPS")
+        assert dict(preset.terms) == {"FP_A": 2.0, "FP_B": 1.0}
+        assert preset.fitness == 1e-16
+        assert preset.description == "DP FLOPs"
+
+
+class TestTables:
+    def test_markdown_alignment(self):
+        text = render_markdown_table(["name", "v"], [["a", 1.5], ["bb", 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("|") and line.endswith("|") for line in lines)
+        assert "bb" in lines[3]
+
+    def test_float_formatting(self):
+        text = render_markdown_table(["v"], [[1.23e-17], [0.0], [12.5]])
+        assert "1.230e-17" in text
+        assert "| 0" in text
+        assert "12.5" in text
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "out" / "t.csv", ["a", "b"], [[1, "x,y"]])
+        content = path.read_text()
+        assert content.splitlines()[0] == "a,b"
+        assert "x;y" in content  # comma sanitized
+
+    def test_write_markdown_with_title(self, tmp_path):
+        path = write_markdown(tmp_path / "t.md", ["h"], [["v"]], title="Table")
+        content = path.read_text()
+        assert content.startswith("# Table")
+        assert "| v" in content

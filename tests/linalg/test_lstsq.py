@@ -1,0 +1,140 @@
+"""Tests for the QR-based least-squares solver and Equation-5 backward error."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import backward_error, lstsq_qr
+
+
+class TestLstsqQR:
+    def test_exact_square_system(self):
+        a = np.array([[2.0, 0.0], [0.0, 3.0]])
+        res = lstsq_qr(a, np.array([4.0, 9.0]))
+        assert np.allclose(res.x, [2.0, 3.0])
+        assert res.residual_norm < 1e-12
+        assert res.backward_error < 1e-12
+        assert res.rank == 2
+
+    def test_overdetermined_matches_numpy(self):
+        rng = np.random.default_rng(42)
+        a = rng.normal(size=(20, 6))
+        b = rng.normal(size=20)
+        res = lstsq_qr(a, b)
+        ref = np.linalg.lstsq(a, b, rcond=None)[0]
+        assert np.allclose(res.x, ref, atol=1e-10)
+
+    def test_residual_orthogonal_to_range(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(10, 3))
+        b = rng.normal(size=10)
+        res = lstsq_qr(a, b)
+        r = a @ res.x - b
+        assert np.allclose(a.T @ r, 0.0, atol=1e-10)
+
+    def test_rank_deficient_minimizes_residual(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=(12, 3))
+        a = np.column_stack([base[:, 0], 2 * base[:, 0], base[:, 1], base[:, 2]])
+        b = rng.normal(size=12)
+        res = lstsq_qr(a, b)
+        ref = np.linalg.norm(a @ np.linalg.lstsq(a, b, rcond=None)[0] - b)
+        assert res.rank == 3
+        assert np.isclose(res.residual_norm, ref, rtol=1e-10)
+
+    def test_zero_matrix_yields_zero_solution(self):
+        a = np.zeros((5, 2))
+        b = np.ones(5)
+        res = lstsq_qr(a, b)
+        assert np.allclose(res.x, 0.0)
+        assert res.rank == 0
+        assert np.isclose(res.residual_norm, np.sqrt(5.0))
+
+    def test_zero_rhs(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(6, 2))
+        res = lstsq_qr(a, np.zeros(6))
+        assert np.allclose(res.x, 0.0, atol=1e-12)
+        assert res.relative_residual == 0.0
+
+    def test_empty_columns(self):
+        res = lstsq_qr(np.zeros((4, 0)), np.ones(4))
+        assert res.x.shape == (0,)
+        assert res.backward_error == 1.0
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(ValueError):
+            lstsq_qr(np.ones((2, 5)), np.ones(2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            lstsq_qr(np.ones((4, 2)), np.ones(3))
+
+    def test_signature_outside_span_has_backward_error_one(self):
+        # The paper's uncomposable-metric certificate (Table VII, last row):
+        # when the target is orthogonal to every event column, the solution
+        # is ~0 and the backward error is exactly 1.
+        a = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        s = np.array([1.0, 0.0, 0.0])
+        res = lstsq_qr(a, s)
+        assert np.allclose(res.x, 0.0, atol=1e-12)
+        assert np.isclose(res.backward_error, 1.0)
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 10_000))
+    def test_property_matches_numpy_random(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 15))
+        n = int(rng.integers(1, m + 1))
+        a = rng.normal(size=(m, n))
+        b = rng.normal(size=m)
+        res = lstsq_qr(a, b)
+        ref = np.linalg.lstsq(a, b, rcond=None)[0]
+        assert np.allclose(res.x, ref, atol=1e-8)
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 10_000))
+    def test_property_residual_is_minimal(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(8, 3))
+        b = rng.normal(size=8)
+        res = lstsq_qr(a, b)
+        # Perturbing the solution can only increase the residual.
+        for _ in range(5):
+            perturbed = res.x + rng.normal(scale=0.1, size=3)
+            assert np.linalg.norm(a @ perturbed - b) >= res.residual_norm - 1e-12
+
+
+class TestBackwardError:
+    def test_zero_residual(self):
+        a = np.eye(3)
+        y = np.array([1.0, 2.0, 3.0])
+        assert backward_error(a, y, y) == 0.0
+
+    def test_all_zero_inputs(self):
+        assert backward_error(np.zeros((2, 2)), np.zeros(2), np.zeros(2)) == 0.0
+
+    def test_bounded_by_one_for_lstsq_solutions(self):
+        rng = np.random.default_rng(5)
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            a = rng.normal(size=(6, 2))
+            b = rng.normal(size=6)
+            res = lstsq_qr(a, b)
+            assert 0.0 <= res.backward_error <= 1.0 + 1e-12
+
+    def test_matches_paper_fma_fingerprint(self):
+        # Reconstructs Table V's FMA rows analytically: four orthogonal
+        # event columns each equal to e_k + 2 e_{k+FMA}; target signature is
+        # 2 on the FMA dimensions.  Least squares gives coefficients 0.8 and
+        # backward error 2.36e-1.
+        e = np.zeros((8, 4))
+        for k in range(4):
+            e[k, k] = 1.0
+            e[4 + k, k] = 2.0
+        s = np.zeros(8)
+        s[4:] = 2.0
+        res = lstsq_qr(e, s)
+        assert np.allclose(res.x, 0.8)
+        assert np.isclose(res.backward_error, 0.236, atol=5e-4)

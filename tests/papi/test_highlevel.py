@@ -1,0 +1,87 @@
+"""Tests for the PAPI high-level region API."""
+
+import pytest
+
+from repro.activity import fp_instr_key
+from repro.core import AnalysisPipeline
+from repro.hardware import ComputeKernel, aurora_node
+from repro.papi import HighLevelMonitor, PAPIError, PresetMetric, PresetTable
+
+
+@pytest.fixture(scope="module")
+def node():
+    return aurora_node()
+
+
+@pytest.fixture(scope="module")
+def presets(node):
+    result = AnalysisPipeline.for_domain("cpu_flops", node).run()
+    return result.presets
+
+
+@pytest.fixture(scope="module")
+def monitor(node, presets):
+    return HighLevelMonitor(node, presets)
+
+
+def _app_activity(node, scalar_dp=10.0, fma512_dp=7.0, sp256=3.0):
+    kernel = ComputeKernel(
+        name="region",
+        fp_ops={
+            fp_instr_key("scalar", "dp", "nonfma"): scalar_dp,
+            fp_instr_key("512", "dp", "fma"): fma512_dp,
+            fp_instr_key("256", "sp", "nonfma"): sp256,
+        },
+    )
+    return node.machine.run_compute(kernel)
+
+
+class TestHighLevelMonitor:
+    def test_measures_dp_ops_ground_truth(self, node, monitor):
+        reading = monitor.measure_region("hot", _app_activity(node))
+        # 10 scalar DP FLOPs + 7 FMA x 8 lanes x 2 ops = 122.
+        assert reading.metric("PAPI_DP_OPS") == pytest.approx(122.0)
+
+    def test_measures_sp_ops(self, node, monitor):
+        reading = monitor.measure_region("hot", _app_activity(node))
+        # 3 AVX2 SP instructions x 8 FLOPs each = 24.
+        assert reading.metric("PAPI_SP_OPS") == pytest.approx(24.0)
+
+    def test_instruction_presets_count_fma_twice(self, node, monitor):
+        reading = monitor.measure_region("hot", _app_activity(node))
+        # DP instrs (FP_ARITH convention): 10 scalar + 2x7 FMA = 24.
+        assert reading.metric("PAPI_DP_INS") == pytest.approx(24.0)
+
+    def test_selected_metrics_subset(self, node, monitor):
+        reading = monitor.measure_region(
+            "hot", _app_activity(node), metrics=["PAPI_DP_OPS"]
+        )
+        assert set(reading.metrics) == {"PAPI_DP_OPS"}
+        with pytest.raises(KeyError, match="not monitored"):
+            reading.metric("PAPI_SP_OPS")
+
+    def test_counter_budget_forces_multiple_runs(self, node, presets):
+        from repro.hardware import PMU
+
+        tight_node = aurora_node()
+        tight_node.pmu = PMU(programmable_counters=2, fixed_counters=0)
+        monitor = HighLevelMonitor(tight_node, presets)
+        reading = monitor.measure_region("hot", _app_activity(tight_node))
+        assert reading.runs > 1
+        # Readings remain coherent across the scheduled runs.
+        assert reading.metric("PAPI_DP_OPS") == pytest.approx(122.0)
+
+    def test_raw_readings_exposed(self, node, monitor):
+        reading = monitor.measure_region("hot", _app_activity(node))
+        assert reading.raw["FP_ARITH_INST_RETIRED:SCALAR_DOUBLE"] == pytest.approx(10.0)
+
+    def test_missing_preset_event_rejected_at_construction(self, node):
+        bad = PresetTable("x")
+        bad.define(PresetMetric(name="PAPI_BAD", terms={"NO_SUCH_EVENT": 1.0}))
+        with pytest.raises(PAPIError, match="absent"):
+            HighLevelMonitor(node, bad)
+
+    def test_zero_region(self, node, monitor):
+        idle = node.machine.run_compute(ComputeKernel(name="idle"))
+        reading = monitor.measure_region("idle", idle)
+        assert reading.metric("PAPI_DP_OPS") == 0.0

@@ -1,0 +1,103 @@
+"""Tests for the command-line driver."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListEvents:
+    def test_lists_with_prefix(self, capsys):
+        assert main(["list-events", "--system", "aurora", "--prefix", "BR_MISP"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "BR_MISP_RETIRED" in out
+        assert all(line.startswith("BR_MISP") for line in out)
+
+    def test_unknown_system(self):
+        with pytest.raises(SystemExit):
+            main(["list-events", "--system", "cray"])
+
+
+class TestRun:
+    def test_branch_run_prints_metrics(self, capsys):
+        assert main(["run", "--domain", "branch", "--repetitions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "BR_MISP_RETIRED" in out
+        assert "Mispredicted Branches." in out
+        assert "NOT COMPOSABLE" in out  # Conditional Branches Executed
+
+    def test_save_presets(self, capsys, tmp_path):
+        path = tmp_path / "presets.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--domain",
+                    "branch",
+                    "--repetitions",
+                    "2",
+                    "--save-presets",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(path.read_text())
+        names = {p["name"] for p in payload["presets"]}
+        assert "PAPI_BR_MSP" in names
+
+    def test_threshold_overrides(self, capsys):
+        # A huge tau keeps noisy events; the run must still complete.
+        assert (
+            main(
+                [
+                    "run",
+                    "--domain",
+                    "branch",
+                    "--repetitions",
+                    "2",
+                    "--tau",
+                    "1e-3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "noisy (> tau=0.001)" in out
+
+    def test_rounded_flag(self, capsys):
+        assert main(["run", "--domain", "branch", "--repetitions", "2", "--rounded"]) == 0
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--domain", "nope"])
+
+
+class TestPresets:
+    def test_derive_presets_for_frontier(self, capsys, tmp_path):
+        path = tmp_path / "frontier.json"
+        assert main(["presets", "--system", "frontier", "--output", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "derived 4 presets" in out
+        assert "not composable" in out
+        payload = json.loads(path.read_text())
+        assert payload["architecture"] == "frontier-mi250x"
+        assert len(payload["presets"]) == 4
+
+
+class TestReport:
+    def test_report_to_file(self, capsys, tmp_path):
+        path = tmp_path / "report.md"
+        assert main(["report", "--domain", "branch", "--output", str(path)]) == 0
+        text = path.read_text()
+        assert "## Selected events (Section V)" in text
+        assert "BR_MISP_RETIRED" in text
+
+
+class TestNoise:
+    def test_noise_plot(self, capsys):
+        assert main(["noise", "--domain", "branch"]) == 0
+        out = capsys.readouterr().out
+        assert "tau = 1e-10" in out
+        assert "Sorted event variabilities" in out

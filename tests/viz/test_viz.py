@@ -1,0 +1,142 @@
+"""Tests for figure-series extraction and ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.cat.measurement import MeasurementSet
+from repro.core.basis import branch_basis
+from repro.core.metrics import MetricDefinition
+from repro.core.noise_filter import analyze_noise
+from repro.core.signatures import branch_signatures
+from repro.viz.ascii import grouped_series, log_scatter
+from repro.viz.series import fig2_series, fig3_series
+
+
+class TestLogScatter:
+    def test_renders_threshold_line(self):
+        plot = log_scatter([1e-12, 1e-6, 1e-2], threshold=1e-8, title="t")
+        assert "tau = 1e-08" in plot
+        assert plot.splitlines()[0] == "t"
+        assert "*" in plot
+
+    def test_zeros_plotted_at_floor(self):
+        plot = log_scatter([0.0, 0.0, 1.0], threshold=None)
+        # Zeros land on the 1e-16 axis row (formatted with a 3-digit
+        # exponent), which must therefore exist and carry stars.
+        bottom_rows = [l for l in plot.splitlines() if l.startswith("1e-016")]
+        assert bottom_rows and "*" in bottom_rows[0]
+
+    def test_empty(self):
+        assert "(no data)" in log_scatter([], title="x")
+
+    def test_monotone_layout(self):
+        # Stars should trend upward left to right for sorted input.
+        plot = log_scatter(np.logspace(-10, 0, 30))
+        lines = [l for l in plot.splitlines() if "|" in l]
+        first_star_rows = {}
+        for row_idx, line in enumerate(lines):
+            for col, ch in enumerate(line):
+                if ch == "*":
+                    first_star_rows.setdefault(col, row_idx)
+        cols = sorted(first_star_rows)
+        rows = [first_star_rows[c] for c in cols]
+        # Lines render top-down, so larger values (later columns) appear on
+        # earlier lines: row indices must be non-increasing left to right.
+        assert rows == sorted(rows, reverse=True)
+
+
+class TestGroupedSeries:
+    def test_renders_legend_and_labels(self):
+        plot = grouped_series(
+            ["L1", "L2"],
+            [("signature", [1.0, 0.0]), ("measured", [0.99, 0.01])],
+            title="panel",
+        )
+        assert "o = signature" in plot
+        assert "x = measured" in plot
+        assert "L1" in plot and "L2" in plot
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_series(["a"], [("s", [1.0, 2.0])])
+
+
+class TestFig2Series:
+    def _report(self):
+        data = np.zeros((2, 1, 2, 3))
+        data[:, 0, :, 0] = 1.0  # exact
+        data[0, 0, :, 1] = 1.0
+        data[1, 0, :, 1] = 1.2  # noisy
+        # event 2 all-zero -> discarded
+        ms = MeasurementSet("b", ["r0", "r1"], ["e0", "e1", "e2"], data)
+        return analyze_noise(ms, tau=1e-6)
+
+    def test_extraction(self):
+        series = fig2_series(self._report())
+        assert series.n_zero_noise == 1
+        assert series.n_above_tau == 1
+        assert series.values.tolist() == sorted(series.values.tolist())
+
+    def test_separation_gap(self):
+        series = fig2_series(self._report())
+        lo, hi = series.separation_gap()
+        assert lo == 0.0
+        assert hi > 1e-2
+
+
+class TestFig3Series:
+    def test_exact_combination_has_zero_deviation(self):
+        basis = branch_basis()
+        sig = {s.name: s for s in branch_signatures()}["Conditional Branches Retired."]
+        metric = MetricDefinition(
+            metric=sig.name,
+            event_names=("COND",),
+            coefficients=np.array([1.0]),
+            error=0.0,
+            signature=sig,
+        )
+        matrix = basis.expectation("CR").reshape(-1, 1)
+        series = fig3_series(metric, sig, basis, matrix, ["COND"])
+        assert series.max_abs_deviation == 0.0
+        assert np.array_equal(series.measured, series.expected)
+
+    def test_deviation_measures_noise(self):
+        basis = branch_basis()
+        sig = {s.name: s for s in branch_signatures()}["Conditional Branches Retired."]
+        metric = MetricDefinition(
+            metric=sig.name,
+            event_names=("COND",),
+            coefficients=np.array([1.0]),
+            error=0.0,
+            signature=sig,
+        )
+        matrix = (basis.expectation("CR") + 0.05).reshape(-1, 1)
+        series = fig3_series(metric, sig, basis, matrix, ["COND"])
+        assert series.max_abs_deviation == pytest.approx(0.05)
+
+    def test_missing_event_in_matrix(self):
+        basis = branch_basis()
+        sig = branch_signatures()[0]
+        metric = MetricDefinition(
+            metric=sig.name,
+            event_names=("GHOST",),
+            coefficients=np.array([1.0]),
+            error=0.0,
+            signature=sig,
+        )
+        with pytest.raises(KeyError, match="GHOST"):
+            fig3_series(metric, sig, basis, np.zeros((11, 1)), ["OTHER"])
+
+    def test_zero_coefficients_do_not_require_columns(self):
+        basis = branch_basis()
+        sig = branch_signatures()[0]
+        metric = MetricDefinition(
+            metric=sig.name,
+            event_names=("GHOST", "COND"),
+            coefficients=np.array([0.0, 1.0]),
+            error=0.0,
+            signature=sig,
+        )
+        matrix = basis.expectation("CR").reshape(-1, 1)
+        series = fig3_series(metric, sig, basis, matrix, ["COND"])
+        assert series.measured.shape == (11,)
