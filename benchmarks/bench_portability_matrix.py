@@ -11,23 +11,38 @@ Intel-only among the CPUs; "Conditional Branches Executed" composes
 nowhere.
 
 Timed portion: matrix construction from the cached pipeline results.
+
+The Zen pipelines fan through the :class:`~repro.core.sweep.SweepEngine`
+process pool (the portability workload is exactly what it parallelizes);
+results are bit-identical to serial runs by the reproducibility contract.
 """
 
 import pytest
 
-from repro.core import AnalysisPipeline
 from repro.core.crossarch import portability_matrix
-from repro.hardware.systems import frontier_cpu_node
+from repro.core.sweep import SweepEngine, SweepTask, results_by_label
 
 
 @pytest.fixture(scope="module")
-def zen_flops():
-    return AnalysisPipeline.for_domain("cpu_flops", frontier_cpu_node()).run()
+def zen_results():
+    outcomes = SweepEngine(max_workers=2).run(
+        [
+            SweepTask("frontier-cpu", "cpu_flops"),
+            SweepTask("frontier-cpu", "branch"),
+        ]
+    )
+    assert all(o.ok for o in outcomes), [o.error for o in outcomes]
+    return results_by_label(outcomes)
 
 
 @pytest.fixture(scope="module")
-def zen_branch():
-    return AnalysisPipeline.for_domain("branch", frontier_cpu_node()).run()
+def zen_flops(zen_results):
+    return zen_results["frontier-cpu:cpu_flops"]
+
+
+@pytest.fixture(scope="module")
+def zen_branch(zen_results):
+    return zen_results["frontier-cpu:branch"]
 
 
 def test_flops_portability_matrix(

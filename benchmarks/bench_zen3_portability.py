@@ -10,28 +10,28 @@ architecture-specific findings the method should discover there:
 * CE uncomposable, as on Intel.
 
 Timed portions: the full metric composition per domain on the Zen node.
+
+The three domain pipelines fan through the sweep engine's process pool —
+independent (node, domain) pipelines are exactly its workload, and the
+reproducibility contract makes the parallel results bit-identical to a
+serial run.
 """
 
 import numpy as np
 import pytest
 
 from _helpers import write_metric_table
-from repro.core import AnalysisPipeline
 from repro.core.metrics import compose_metric
-from repro.hardware.systems import frontier_cpu_node
+from repro.core.sweep import SweepEngine, expand_grid
 
 
 @pytest.fixture(scope="module")
-def zen_node():
-    return frontier_cpu_node()
-
-
-@pytest.fixture(scope="module")
-def zen_results(zen_node):
-    return {
-        domain: AnalysisPipeline.for_domain(domain, zen_node).run()
-        for domain in ("cpu_flops", "branch", "dcache")
-    }
+def zen_results():
+    outcomes = SweepEngine(max_workers=3).run(
+        expand_grid(["frontier-cpu"], ["cpu_flops", "branch", "dcache"])
+    )
+    assert all(o.ok for o in outcomes), [o.error for o in outcomes]
+    return {o.task.domain: o.result for o in outcomes}
 
 
 def test_zen3_flops_absence_detection(benchmark, zen_results, results_dir):

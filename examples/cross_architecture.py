@@ -15,15 +15,30 @@ subtraction (its ADD counter fires for both); each limitation is detected
 by the backward error rather than assumed.
 
 Run:  python examples/cross_architecture.py
+
+All three pipelines fan out through the :class:`~repro.core.sweep.SweepEngine`
+process pool — the CLI equivalent is::
+
+    repro-cat sweep --systems aurora,frontier,frontier-cpu --domains cpu_flops,gpu_flops
 """
 
-from repro.core import AnalysisPipeline
-from repro.hardware import aurora_node, frontier_node
+from repro.core.sweep import SweepEngine, SweepTask, results_by_label
 
 
 def main() -> None:
-    cpu_result = AnalysisPipeline.for_domain("cpu_flops", aurora_node()).run()
-    gpu_result = AnalysisPipeline.for_domain("gpu_flops", frontier_node()).run()
+    outcomes = SweepEngine().run(
+        [
+            SweepTask("aurora", "cpu_flops"),
+            SweepTask("frontier", "gpu_flops"),
+            SweepTask("frontier-cpu", "cpu_flops"),
+        ]
+    )
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        raise SystemExit(f"sweep failed: {[(o.task.label, o.error) for o in failed]}")
+    results = results_by_label(outcomes)
+    cpu_result = results["aurora:cpu_flops"]
+    gpu_result = results["frontier:gpu_flops"]
 
     print("=" * 70)
     print("Concept: total double-precision floating-point operations")
@@ -60,9 +75,8 @@ def main() -> None:
 
     # The maintainer's one-table view, including Frontier's host CPU.
     from repro.core.crossarch import portability_matrix
-    from repro.hardware.systems import frontier_cpu_node
 
-    zen_result = AnalysisPipeline.for_domain("cpu_flops", frontier_cpu_node()).run()
+    zen_result = results["frontier-cpu:cpu_flops"]
     matrix = portability_matrix(
         [
             ("aurora-spr", cpu_result),

@@ -4,6 +4,12 @@ Lives at the package root (rather than under ``repro.hardware``) because it
 is the interface *between* the hardware simulators and the event catalogs;
 placing it in either subpackage would create an import cycle.
 
+For the vectorized measurement hot path, :meth:`Activity.to_vector` turns
+the sparse mapping into a dense coordinate vector over an explicit key
+ordering, so a batch of activities becomes a ``(samples, keys)`` matrix that
+multiplies a registry's packed weight matrix (see
+:meth:`repro.events.registry.EventRegistry.weight_matrix`).
+
 Running one CAT microkernel configuration on a simulated machine produces an
 :class:`Activity`: a flat mapping from namespaced activity keys (the "ground
 truth" of what the hardware did) to occurrence counts.  Raw events are
@@ -20,7 +26,9 @@ read as zero, mirroring a counter that never fires.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 __all__ = [
     "Activity",
@@ -245,6 +253,28 @@ class Activity(Mapping[str, float]):
         out = dict(self._counts)
         out.update(updates)
         return Activity(out)
+
+    # Vectorization ---------------------------------------------------------
+    def to_vector(
+        self,
+        keys: Sequence[str],
+        key_index: Optional[Mapping[str, int]] = None,
+    ) -> np.ndarray:
+        """Dense coordinate vector of this record over ``keys``.
+
+        Unknown keys read as 0.0 (a counter that never fires), exactly as
+        :meth:`get` does; counts under keys absent from ``keys`` are
+        dropped.  ``key_index`` (key -> position, consistent with ``keys``)
+        lets callers that vectorize many activities share one lookup table.
+        """
+        out = np.zeros(len(keys), dtype=np.float64)
+        if key_index is None:
+            key_index = {k: i for i, k in enumerate(keys)}
+        for key, value in self._counts.items():
+            pos = key_index.get(key)
+            if pos is not None:
+                out[pos] = value
+        return out
 
     def as_dict(self) -> Dict[str, float]:
         """A plain-dict copy (for serialization)."""

@@ -12,7 +12,7 @@ expected counts the signatures describe.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -33,12 +33,16 @@ class MeasurementSet:
         Full names of the measured events, in measurement order.
     data:
         Array of shape ``(repetitions, threads, rows, events)``.
+    pmu_runs:
+        How many complete hardware executions the PMU schedule needed to
+        cover all events (``None`` when unknown, e.g. hand-built sets).
     """
 
     benchmark: str
     row_labels: List[str]
     event_names: List[str]
     data: np.ndarray
+    pmu_runs: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.data = np.asarray(self.data, dtype=np.float64)
@@ -95,6 +99,7 @@ class MeasurementSet:
             row_labels=list(self.row_labels),
             event_names=list(self.event_names),
             data=collapsed,
+            pmu_runs=self.pmu_runs,
         )
 
     def repetition_vectors(self, event: str) -> np.ndarray:
@@ -123,6 +128,7 @@ class MeasurementSet:
             row_labels=list(self.row_labels),
             event_names=list(names),
             data=self.data[:, :, :, idx],
+            pmu_runs=self.pmu_runs,
         )
 
     def __repr__(self) -> str:

@@ -15,11 +15,20 @@ zero-noise cluster), (c) noisy events differ per repetition, and (d) noise
 decorrelates across rows and threads.  Per-event batching keeps generator
 construction off the hot path — the measurement loop is matmul-and-draw,
 not 10^5 generator constructions (see ``docs/substrate.md``).
+
+True counts are evaluated through the registry's packed weight matrix
+(:meth:`~repro.events.registry.EventRegistry.weight_matrix`): all
+``(thread, row)`` activities are packed into one matrix and multiplied
+against the ``(keys, events)`` weights, term-ordered so the result is
+bit-identical to the scalar ``RawEvent.true_count`` reference.  Events
+whose ``true_count`` is overridden (non-linear response) fall back to the
+scalar path automatically.
 """
 
 from __future__ import annotations
 
 import zlib
+from functools import lru_cache
 from typing import Optional, Protocol, Sequence
 
 import numpy as np
@@ -32,6 +41,17 @@ from repro.events.registry import EventRegistry
 from repro.hardware.systems import MachineNode
 
 __all__ = ["BenchmarkRunner", "CATBenchmark"]
+
+
+@lru_cache(maxsize=4096)
+def _event_crc(event_name: str) -> int:
+    """CRC32 of an event name (the per-event noise-stream seed component).
+
+    Cached so repeated sweeps over the same catalog hash each name once;
+    ``BenchmarkRunner.run`` builds a per-run table from this cache instead
+    of re-encoding and re-hashing inside the per-event loop.
+    """
+    return zlib.crc32(event_name.encode())
 
 
 class CATBenchmark(Protocol):
@@ -65,8 +85,7 @@ class BenchmarkRunner:
 
     def _rng(self, event_name: str) -> np.random.Generator:
         """The event's measurement-noise stream for this node seed."""
-        crc = zlib.crc32(event_name.encode())
-        return np.random.default_rng((self.node.seed, crc))
+        return np.random.default_rng((self.node.seed, _event_crc(event_name)))
 
     def run(
         self,
@@ -101,25 +120,44 @@ class BenchmarkRunner:
 
         # True counts depend only on (row, thread, event) — hoist them out
         # of the repetition loop (the activity is the shared ground truth
-        # of every repetition; only the noise draws differ).
-        true_counts = np.zeros((n_threads, n_rows, len(event_list)))
-        for thread in range(n_threads):
-            for row, row_acts in enumerate(activities):
-                activity: Activity = row_acts[thread]
-                for j, event in enumerate(event_list):
-                    true_counts[thread, row, j] = event.true_count(activity)
+        # of every repetition; only the noise draws differ).  All linear
+        # events evaluate as one packed activity-times-weights product;
+        # only events with an overridden true_count loop scalar.
+        packed = registry.weight_matrix()
+        flat_activities = [
+            row_acts[thread]
+            for thread in range(n_threads)
+            for row_acts in activities
+        ]
+        activity_matrix = packed.pack_activities(flat_activities)
+        flat_counts = packed.true_counts(activity_matrix)
+        for j, event in packed.fallback:
+            for i, activity in enumerate(flat_activities):
+                flat_counts[i, j] = event.true_count(activity)
+        true_counts = flat_counts.reshape(n_threads, n_rows, len(event_list))
 
         data = np.zeros((self.repetitions, n_threads, n_rows, len(event_list)))
         quiet_run = env_sigmas is None
         batch_shape = (self.repetitions, n_threads, n_rows)
-        for j, event in enumerate(event_list):
-            if event.noise.is_deterministic and quiet_run:
-                # Bit-identical across repetitions: broadcast once.
-                data[:, :, :, j] = true_counts[:, :, j][None, :, :]
-                continue
+        # Per-run seed table: CRCs hashed once, outside the event loop.
+        crc_table = [_event_crc(e.full_name) for e in event_list]
+        # Deterministic events on a quiet run are bit-identical across
+        # repetitions: one broadcast assignment covers them all.
+        noisy_cols = []
+        if quiet_run:
+            det = [j for j, e in enumerate(event_list) if e.noise.is_deterministic]
+            if det:
+                data[:, :, :, det] = true_counts[:, :, det][None, :, :]
+            noisy_cols = [
+                j for j, e in enumerate(event_list) if not e.noise.is_deterministic
+            ]
+        else:
+            noisy_cols = list(range(len(event_list)))
+        for j in noisy_cols:
+            event = event_list[j]
             # One stream per (node seed, event): all of this event's draws
             # for the sweep come from it in (rep, thread, row) order.
-            rng = self._rng(event.full_name)
+            rng = np.random.default_rng((self.node.seed, crc_table[j]))
             tiled = np.broadcast_to(true_counts[:, :, j], batch_shape)
             readings = event.noise.apply_batch(tiled, rng)
             if not quiet_run:
@@ -129,12 +167,11 @@ class BenchmarkRunner:
                 np.maximum(readings, 0.0, out=readings)
             data[:, :, :, j] = readings
 
-        measurement = MeasurementSet(
+        return MeasurementSet(
             benchmark=benchmark.name,
             row_labels=benchmark.row_labels(),
             event_names=[e.full_name for e in event_list],
             data=data,
+            # Scheduling metadata: how many hardware runs the sweep cost.
+            pmu_runs=schedule.n_runs,
         )
-        # Attach scheduling metadata (how many hardware runs were needed).
-        measurement.pmu_runs = schedule.n_runs  # type: ignore[attr-defined]
-        return measurement

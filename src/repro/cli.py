@@ -7,6 +7,7 @@ Usage::
     repro-cat noise --domain dcache                 # Fig 2-style variability plot
     repro-cat list-events --system aurora --prefix BR_
     repro-cat run --domain cpu_flops --save-presets presets.json
+    repro-cat sweep --systems aurora,frontier-cpu --domains cpu_flops,branch
 """
 
 from __future__ import annotations
@@ -85,6 +86,40 @@ def _build_parser() -> argparse.ArgumentParser:
     listing.add_argument("--system", required=True, choices=("aurora", "frontier"))
     listing.add_argument("--prefix", default=None)
     listing.add_argument("--seed", type=int, default=2024)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan (system x domain) pipelines across a worker pool; "
+        "results print in deterministic task order",
+    )
+    sweep.add_argument(
+        "--systems",
+        default="aurora,frontier",
+        help="comma-separated: aurora, frontier, frontier-cpu",
+    )
+    sweep.add_argument(
+        "--domains",
+        default="cpu_flops,gpu_flops,branch,dcache",
+        help="comma-separated domains; incompatible (system, domain) pairs "
+        "are skipped",
+    )
+    sweep.add_argument("--seed", type=int, default=2024)
+    sweep.add_argument("--workers", type=int, default=None, help="pool size")
+    sweep.add_argument(
+        "--executor",
+        choices=("process", "thread", "serial"),
+        default="process",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="content-addressed measurement cache shared across workers "
+        "and re-runs (re-runs skip measurement entirely)",
+    )
+    sweep.add_argument(
+        "--summary", action="store_true", help="print each pipeline's summary"
+    )
     return parser
 
 
@@ -124,6 +159,43 @@ def _main(argv: Optional[List[str]] = None) -> int:
         for name in node.events.select(prefix=args.prefix).full_names:
             print(name)
         return 0
+
+    if args.command == "sweep":
+        from repro.core.sweep import SweepEngine, expand_grid
+
+        systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+        domains = [d.strip() for d in args.domains.split(",") if d.strip()]
+        try:
+            tasks = expand_grid(
+                systems, domains, seed=args.seed, cache_dir=args.cache_dir
+            )
+        except ValueError as exc:
+            raise SystemExit(f"repro-cat sweep: error: {exc}")
+        if not tasks:
+            raise SystemExit(
+                f"no measurable (system, domain) combination in "
+                f"{systems} x {domains}"
+            )
+        engine = SweepEngine(max_workers=args.workers, executor=args.executor)
+        outcomes = engine.run(tasks)
+        for outcome in outcomes:
+            if not outcome.ok:
+                print(f"[{outcome.task.label}] FAILED: {outcome.error}")
+                continue
+            result = outcome.result
+            composable = sum(1 for m in result.metrics.values() if m.composable)
+            print(
+                f"[{outcome.task.label}] ok in {outcome.seconds:.2f}s  "
+                f"events={result.noise.n_measured} "
+                f"selected={len(result.selected_events)} "
+                f"composable={composable}/{len(result.metrics)}"
+            )
+        if args.summary:
+            for outcome in outcomes:
+                if outcome.ok:
+                    print(f"\n=== {outcome.task.label} ===")
+                    print(outcome.result.summary())
+        return 0 if all(o.ok for o in outcomes) else 1
 
     if args.command == "presets":
         from repro.core.derive import derive_presets

@@ -22,8 +22,20 @@ from repro.core.crossarch import (
     portability_matrix,
 )
 from repro.core.metrics import MetricDefinition, compose_metric, round_coefficients
-from repro.core.noise_filter import NoiseReport, analyze_noise, max_rnmse
+from repro.core.noise_filter import (
+    NoiseReport,
+    analyze_noise,
+    batch_max_rnmse,
+    max_rnmse,
+)
 from repro.core.pipeline import AnalysisPipeline, PipelineConfig, PipelineResult
+from repro.core.sweep import (
+    SweepEngine,
+    SweepOutcome,
+    SweepTask,
+    expand_grid,
+    results_by_label,
+)
 from repro.core.qrcp import QRCPResult, qrcp_specialized, qrcp_standard
 from repro.core.report import metric_table_rows, render_report, write_report
 from repro.core.representation import RepresentationReport, represent_events
@@ -88,7 +100,13 @@ __all__ = [
     "QRCPResult",
     "RepresentationReport",
     "Signature",
+    "SweepEngine",
+    "SweepOutcome",
+    "SweepTask",
     "analyze_noise",
+    "batch_max_rnmse",
+    "expand_grid",
+    "results_by_label",
     "branch_basis",
     "branch_signatures",
     "compose_metric",

@@ -20,7 +20,7 @@ Ties the paper's stages together, in order:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -49,6 +49,9 @@ from repro.events.registry import EventRegistry
 from repro.hardware.systems import MachineNode
 from repro.papi.presets import PresetTable
 
+if TYPE_CHECKING:
+    from repro.io.cache import MeasurementCache
+
 __all__ = ["AnalysisPipeline", "PipelineConfig", "PipelineResult"]
 
 
@@ -62,6 +65,10 @@ class PipelineConfig:
     repetitions: int = 5
     round_snap_tol: float = 0.05  # Section VI-D coefficient snapping
     round_zero_tol: float = 0.02
+    # Reuse measurements through the content-addressed cache
+    # (repro.io.cache); safe because the substrate is bit-deterministic —
+    # the cache key covers everything a reading depends on.
+    use_measurement_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.tau <= 0 or self.alpha <= 0 or self.representation_threshold <= 0:
@@ -136,6 +143,7 @@ class AnalysisPipeline:
         signatures: Sequence[Signature],
         config: PipelineConfig = PipelineConfig(),
         events: Optional[EventRegistry] = None,
+        cache: Optional["MeasurementCache"] = None,
     ):
         self.node = node
         self.benchmark = benchmark
@@ -143,6 +151,9 @@ class AnalysisPipeline:
         self.signatures = list(signatures)
         self.config = config
         self.events = events
+        # Used only when config.use_measurement_cache is set; None means
+        # the process-wide default cache.
+        self.cache = cache
         if tuple(benchmark.row_labels()) != tuple(basis.row_labels):
             raise ValueError(
                 "benchmark kernel rows do not match the expectation basis rows; "
@@ -155,6 +166,7 @@ class AnalysisPipeline:
         domain: str,
         node: MachineNode,
         config: Optional[PipelineConfig] = None,
+        cache: Optional["MeasurementCache"] = None,
         **benchmark_kwargs,
     ) -> "AnalysisPipeline":
         """Standard wiring for the paper's four benchmark domains."""
@@ -191,16 +203,38 @@ class AnalysisPipeline:
             basis=basis,
             signatures=signatures_for(domain),
             config=config or DOMAIN_CONFIGS[domain],
+            cache=cache,
         )
 
     # ------------------------------------------------------------------
+    def _measure(self) -> MeasurementSet:
+        """The measurement stage, optionally through the content cache."""
+        config = self.config
+        runner = BenchmarkRunner(self.node, repetitions=config.repetitions)
+        registry = (
+            self.events
+            if self.events is not None
+            else runner.select_events(self.benchmark)
+        )
+        if not config.use_measurement_cache:
+            return runner.run(self.benchmark, events=registry)
+
+        from repro.io.cache import default_measurement_cache, measurement_cache_key
+
+        cache = self.cache if self.cache is not None else default_measurement_cache()
+        key = measurement_cache_key(
+            self.node, self.benchmark, registry, config.repetitions
+        )
+        return cache.get_or_measure(
+            key, lambda: runner.run(self.benchmark, events=registry)
+        )
+
     def run(self, measurement: Optional[MeasurementSet] = None) -> PipelineResult:
         """Execute all stages; ``measurement`` may be injected (e.g. from
         disk) to skip the benchmark run."""
         config = self.config
         if measurement is None:
-            runner = BenchmarkRunner(self.node, repetitions=config.repetitions)
-            measurement = runner.run(self.benchmark, events=self.events)
+            measurement = self._measure()
 
         # Stages 2-4: thread median happens inside the noise analysis and
         # measurement matrix; zero discard + tau filter:

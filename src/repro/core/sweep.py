@@ -1,0 +1,240 @@
+"""Parallel sweep engine: fan (node x domain) pipelines across workers.
+
+The portability story multiplies pipelines — every node runs every
+applicable domain, and each pipeline is independent of all others (its
+node, benchmark, and noise streams are fully determined by its own
+configuration).  That makes the sweep embarrassingly parallel; this module
+exploits it with a ``concurrent.futures`` pool while keeping the repo's
+reproducibility contract:
+
+* **Deterministic results** — each task's pipeline is bit-deterministic,
+  so parallel and serial execution produce identical artifacts.
+* **Deterministic ordering** — outcomes are returned in task-submission
+  order regardless of completion order, so downstream consumers (reports,
+  portability matrices, CLI output) never observe scheduling jitter.
+
+Used by the ``sweep`` CLI subcommand, the portability benches, and the
+cross-architecture example.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import (
+    AnalysisPipeline,
+    DOMAIN_CONFIGS,
+    PipelineConfig,
+    PipelineResult,
+)
+from repro.hardware.systems import aurora_node, frontier_cpu_node, frontier_node
+
+__all__ = [
+    "SWEEP_SYSTEMS",
+    "SYSTEM_DOMAINS",
+    "SweepEngine",
+    "SweepOutcome",
+    "SweepTask",
+    "expand_grid",
+    "results_by_label",
+]
+
+#: Node factories by sweep-facing system name.
+SWEEP_SYSTEMS = {
+    "aurora": aurora_node,
+    "frontier": frontier_node,
+    "frontier-cpu": frontier_cpu_node,
+}
+
+#: Domains each system's substrate can measure (the GPU node only hosts
+#: the GPU FLOPs benchmark; the CPU nodes host everything else).
+SYSTEM_DOMAINS: Dict[str, Tuple[str, ...]] = {
+    "aurora": ("cpu_flops", "branch", "dcache", "dtlb"),
+    "frontier": ("gpu_flops",),
+    "frontier-cpu": ("cpu_flops", "branch", "dcache", "dtlb"),
+}
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One (system, domain) pipeline invocation.
+
+    ``cache_dir`` points the pipeline's measurement cache at a shared
+    on-disk root so cache hits survive process boundaries and re-runs
+    (it implies measurement caching even if ``config`` does not set it).
+    """
+
+    system: str
+    domain: str
+    seed: int = 2024
+    config: Optional[PipelineConfig] = None
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.system not in SWEEP_SYSTEMS:
+            raise ValueError(
+                f"unknown system {self.system!r}; expected one of "
+                f"{sorted(SWEEP_SYSTEMS)}"
+            )
+        if self.domain not in SYSTEM_DOMAINS[self.system]:
+            raise ValueError(
+                f"domain {self.domain!r} is not measurable on "
+                f"{self.system!r} (has: {SYSTEM_DOMAINS[self.system]})"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"{self.system}:{self.domain}"
+
+
+@dataclass
+class SweepOutcome:
+    """Result (or failure) of one sweep task, plus wall time."""
+
+    task: SweepTask
+    result: Optional[PipelineResult] = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def expand_grid(
+    systems: Sequence[str],
+    domains: Sequence[str],
+    seed: int = 2024,
+    use_cache: bool = False,
+    cache_dir: Optional[str] = None,
+) -> List[SweepTask]:
+    """Cartesian (system x domain) task list, skipping combinations the
+    system cannot measure (e.g. ``gpu_flops`` on a CPU node).
+
+    Order is deterministic: systems outer, domains inner, as given.
+    """
+    use_cache = use_cache or cache_dir is not None
+    tasks: List[SweepTask] = []
+    for system in systems:
+        if system not in SWEEP_SYSTEMS:
+            raise ValueError(
+                f"unknown system {system!r}; expected one of {sorted(SWEEP_SYSTEMS)}"
+            )
+        for domain in domains:
+            if domain not in SYSTEM_DOMAINS[system]:
+                continue
+            config = None
+            if use_cache:
+                if domain not in DOMAIN_CONFIGS:
+                    raise KeyError(f"unknown domain {domain!r}")
+                config = replace(DOMAIN_CONFIGS[domain], use_measurement_cache=True)
+            tasks.append(
+                SweepTask(
+                    system=system,
+                    domain=domain,
+                    seed=seed,
+                    config=config,
+                    cache_dir=cache_dir,
+                )
+            )
+    return tasks
+
+
+def _execute_task(task: SweepTask) -> PipelineResult:
+    """Worker body: build the node and run its pipeline (picklable,
+    module-level, so it works under a process pool)."""
+    node = SWEEP_SYSTEMS[task.system](seed=task.seed)
+    cache = None
+    config = task.config
+    if task.cache_dir is not None:
+        from repro.io.cache import MeasurementCache
+
+        cache = MeasurementCache(root=task.cache_dir)
+        if config is None:
+            config = replace(DOMAIN_CONFIGS[task.domain], use_measurement_cache=True)
+    pipeline = AnalysisPipeline.for_domain(
+        task.domain, node, config=config, cache=cache
+    )
+    return pipeline.run()
+
+
+def _run_one(task: SweepTask) -> SweepOutcome:
+    start = time.perf_counter()
+    try:
+        result = _execute_task(task)
+    except Exception as exc:  # noqa: BLE001 — one task must not sink the sweep
+        return SweepOutcome(
+            task=task,
+            error=f"{type(exc).__name__}: {exc}",
+            seconds=time.perf_counter() - start,
+        )
+    return SweepOutcome(task=task, result=result, seconds=time.perf_counter() - start)
+
+
+class SweepEngine:
+    """Runs sweep tasks across a worker pool with ordered results.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; ``None`` lets ``concurrent.futures`` pick (CPU count).
+    executor:
+        ``"process"`` (default — true parallelism; pipelines are
+        numpy/CPU-bound), ``"thread"``, or ``"serial"`` (in-process, no
+        pool; also the automatic fallback when a pool cannot start, e.g.
+        in sandboxes that forbid forking).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, executor: str = "process"):
+        if executor not in ("process", "thread", "serial"):
+            raise ValueError(
+                f"executor must be process, thread or serial; got {executor!r}"
+            )
+        self.max_workers = max_workers
+        self.executor = executor
+
+    # ------------------------------------------------------------------
+    def _make_pool(self) -> Executor:
+        if self.executor == "process":
+            return ProcessPoolExecutor(max_workers=self.max_workers)
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
+    def run(self, tasks: Sequence[SweepTask]) -> List[SweepOutcome]:
+        """Execute all tasks; outcomes are returned in task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.executor == "serial" or len(tasks) == 1:
+            return [_run_one(task) for task in tasks]
+        try:
+            with self._make_pool() as pool:
+                # Submission order == result order: determinism regardless
+                # of which worker finishes first.
+                futures = [pool.submit(_run_one, task) for task in tasks]
+                return [f.result() for f in futures]
+        except (OSError, PermissionError):
+            # Pool could not start (restricted environment): run serial.
+            return [_run_one(task) for task in tasks]
+
+    def run_grid(
+        self,
+        systems: Sequence[str],
+        domains: Sequence[str],
+        seed: int = 2024,
+        use_cache: bool = False,
+        cache_dir: Optional[str] = None,
+    ) -> List[SweepOutcome]:
+        """Convenience: :func:`expand_grid` + :meth:`run`."""
+        return self.run(
+            expand_grid(
+                systems, domains, seed=seed, use_cache=use_cache, cache_dir=cache_dir
+            )
+        )
+
+
+def results_by_label(outcomes: Sequence[SweepOutcome]) -> Dict[str, PipelineResult]:
+    """``{"system:domain": PipelineResult}`` for the successful outcomes."""
+    return {o.task.label: o.result for o in outcomes if o.ok and o.result is not None}

@@ -2,12 +2,13 @@
 
 from repro.events.model import EventDomain, RawEvent
 from repro.events.noise import NoiseModel, no_noise, quantized, relative_gaussian, spiky
-from repro.events.registry import EventRegistry
+from repro.events.registry import EventRegistry, PackedWeights
 
 __all__ = [
     "EventDomain",
     "EventRegistry",
     "NoiseModel",
+    "PackedWeights",
     "RawEvent",
     "no_noise",
     "quantized",

@@ -1,5 +1,12 @@
-"""Persistence and tabular export."""
+"""Persistence, measurement caching and tabular export."""
 
+from repro.io.cache import (
+    CacheStats,
+    MeasurementCache,
+    default_measurement_cache,
+    event_set_digest,
+    measurement_cache_key,
+)
 from repro.io.store import (
     load_measurements,
     load_presets,
@@ -9,8 +16,13 @@ from repro.io.store import (
 from repro.io.tables import render_markdown_table, write_csv, write_markdown
 
 __all__ = [
+    "CacheStats",
+    "MeasurementCache",
+    "default_measurement_cache",
+    "event_set_digest",
     "load_measurements",
     "load_presets",
+    "measurement_cache_key",
     "render_markdown_table",
     "save_measurements",
     "save_presets",

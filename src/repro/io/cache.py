@@ -1,0 +1,217 @@
+"""Content-addressed cache for benchmark measurements.
+
+Measuring is the expensive stage of every pipeline — ~300 events over all
+kernel rows and repetitions — and sweeps repeat it: the dcache and dtlb
+domains re-walk the same pointer-chase activities, portability studies
+re-run every domain per node, and re-invocations of a report re-measure
+what the previous invocation just produced.  Because the substrate is
+bit-deterministic, a measurement is fully determined by its configuration;
+this module derives a content address from that configuration and keeps a
+two-level cache under it:
+
+* an in-memory LRU of live :class:`MeasurementSet` objects (process-local,
+  zero deserialization cost), over
+* an optional on-disk layer reusing the ``.npz`` + JSON sidecar snapshot
+  format of :mod:`repro.io.store` (shared across processes and runs).
+
+The key covers everything a reading depends on: the node fingerprint
+(name, seed, machine geometry, PMU budget), the benchmark configuration
+(name, kernel rows, threads, environment noise), the content of the event
+set (full names, response weights, noise models), and the repetition
+count.  Anything that could change a bit of the data changes the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.cat.measurement import MeasurementSet
+from repro.events.model import RawEvent
+from repro.io.store import load_measurements, save_measurements
+
+__all__ = [
+    "CacheStats",
+    "MeasurementCache",
+    "default_measurement_cache",
+    "event_set_digest",
+    "measurement_cache_key",
+]
+
+
+def event_set_digest(events: Iterable[RawEvent]) -> str:
+    """Digest of an event set's *content*, not just its names.
+
+    Two registries with the same names but different response weights or
+    noise models would measure differently; both are folded into the hash.
+    """
+    h = hashlib.sha256()
+    for event in events:
+        h.update(event.full_name.encode())
+        h.update(repr(sorted(event.response.items())).encode())
+        h.update(repr(event.noise).encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _node_fingerprint(node) -> dict:
+    machine = node.machine
+    config = getattr(machine, "config", None)
+    return {
+        "name": node.name,
+        "seed": node.seed,
+        "machine": type(machine).__name__,
+        "config": repr(config),
+        "pmu": [node.pmu.programmable_counters, node.pmu.fixed_counters],
+    }
+
+
+def _benchmark_fingerprint(benchmark) -> dict:
+    env = benchmark.environment_noise
+    return {
+        "name": benchmark.name,
+        "row_labels": list(benchmark.row_labels()),
+        "n_threads": benchmark.n_threads,
+        "environment_noise": list(env) if env is not None else None,
+        "domains": list(benchmark.measured_domains),
+    }
+
+
+def measurement_cache_key(
+    node,
+    benchmark,
+    events: Iterable[RawEvent],
+    repetitions: int,
+) -> str:
+    """The content address of one benchmark measurement.
+
+    ``events`` is the exact event set the runner will measure (an
+    :class:`~repro.events.registry.EventRegistry` iterates as one).
+    """
+    payload = {
+        "node": _node_fingerprint(node),
+        "benchmark": _benchmark_fingerprint(benchmark),
+        "events": event_set_digest(events),
+        "repetitions": repetitions,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+class MeasurementCache:
+    """LRU-in-memory, content-addressed-on-disk measurement cache.
+
+    Parameters
+    ----------
+    root:
+        Directory for the persistent layer; ``None`` keeps the cache
+        memory-only (still worth it: repeated pipeline runs within one
+        process skip measurement entirely).
+    max_memory_entries:
+        In-memory LRU capacity.  A full-catalog measurement is a few MB,
+        so the default bounds the cache to tens of MB.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        max_memory_entries: int = 32,
+    ):
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be >= 1")
+        self.root = Path(root) if root is not None else None
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, MeasurementSet]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.root is None:
+            return None
+        return self.root / key[:2] / key
+
+    def _remember(self, key: str, measurement: MeasurementSet) -> None:
+        self._memory[key] = measurement
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[MeasurementSet]:
+        """The cached measurement for ``key``, or ``None`` on a miss."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return cached
+        path = self._disk_path(key)
+        if path is not None and path.with_suffix(".npz").exists():
+            measurement = load_measurements(path)
+            self._remember(key, measurement)
+            self.stats.disk_hits += 1
+            return measurement
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, measurement: MeasurementSet) -> None:
+        """Store a measurement under its content address."""
+        self._remember(key, measurement)
+        self.stats.stores += 1
+        path = self._disk_path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            save_measurements(measurement, path)
+
+    def get_or_measure(self, key: str, measure) -> MeasurementSet:
+        """The cached measurement, or ``measure()``'s result (then cached)."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        measurement = measure()
+        self.put(key, measurement)
+        return measurement
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (the disk layer is left untouched)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        where = str(self.root) if self.root is not None else "memory-only"
+        return (
+            f"MeasurementCache({where}, {len(self._memory)}/"
+            f"{self.max_memory_entries} in memory, "
+            f"{self.stats.hits} hits / {self.stats.misses} misses)"
+        )
+
+
+_DEFAULT_CACHE: Optional[MeasurementCache] = None
+
+
+def default_measurement_cache() -> MeasurementCache:
+    """The process-wide shared cache used when a pipeline enables caching
+    without supplying its own instance (memory-only)."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = MeasurementCache()
+    return _DEFAULT_CACHE

@@ -41,6 +41,7 @@ def save_measurements(measurement: MeasurementSet, path: Union[str, Path]) -> Pa
         "row_labels": measurement.row_labels,
         "event_names": measurement.event_names,
         "shape": list(measurement.data.shape),
+        "pmu_runs": measurement.pmu_runs,
     }
     json_path.write_text(json.dumps(meta, indent=2))
     return npz_path
@@ -70,6 +71,8 @@ def load_measurements(path: Union[str, Path]) -> MeasurementSet:
         row_labels=meta["row_labels"],
         event_names=meta["event_names"],
         data=data,
+        # Sidecars written before pmu_runs was persisted load as None.
+        pmu_runs=meta.get("pmu_runs"),
     )
 
 

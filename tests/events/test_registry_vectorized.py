@@ -1,0 +1,117 @@
+"""The packed weight matrix: vectorized true counts vs the scalar reference.
+
+The reproducibility contract requires the two paths to agree *exactly* —
+not approximately — on every catalog event: the packed product is
+evaluated term-ordered so each event's response sum happens in the same
+order as ``RawEvent.true_count``'s scalar loop.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.activity import Activity
+from repro.events import EventRegistry, PackedWeights, RawEvent
+from repro.events.catalogs import mi250x_events, sapphire_rapids_events, zen3_events
+
+CATALOGS = {
+    "sapphire_rapids": sapphire_rapids_events,
+    "zen3": zen3_events,
+    "mi250x": mi250x_events,
+}
+
+
+def _random_activities(keys, seed, n=4):
+    rng = np.random.default_rng(seed)
+    activities = []
+    for _ in range(n):
+        # Integer occurrence counts plus a few fractional/negative values:
+        # exactness must not rely on friendly inputs.
+        values = rng.integers(0, 10**9, size=len(keys)).astype(float)
+        values[rng.random(len(keys)) < 0.1] = rng.standard_normal() * 1e6
+        activities.append(Activity(dict(zip(keys, values))))
+    return activities
+
+
+class TestPackedWeights:
+    @pytest.mark.parametrize("name", sorted(CATALOGS))
+    def test_vectorized_matches_scalar_exactly(self, name):
+        registry = CATALOGS[name]()
+        packed = registry.weight_matrix()
+        events = list(registry)
+        activities = _random_activities(packed.keys, seed=sum(map(ord, name)))
+        matrix = packed.pack_activities(activities)
+        vectorized = packed.true_counts(matrix)
+        for i, activity in enumerate(activities):
+            for j, event in enumerate(events):
+                assert vectorized[i, j] == event.true_count(activity), (
+                    f"{name}: {event.full_name} diverges from scalar path"
+                )
+
+    @pytest.mark.parametrize("name", sorted(CATALOGS))
+    def test_matrix_matches_responses(self, name):
+        registry = CATALOGS[name]()
+        packed = registry.weight_matrix()
+        for j, event in enumerate(packed.events):
+            column = {
+                packed.keys[k]: packed.matrix[k, j]
+                for k in np.nonzero(packed.matrix[:, j])[0]
+            }
+            nonzero_response = {k: w for k, w in event.response.items() if w != 0.0}
+            assert column == nonzero_response
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_exact_on_random_activities(self, seed):
+        registry = sapphire_rapids_events()
+        packed = registry.weight_matrix()
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-1e12, 1e12, size=len(packed.keys))
+        activity = Activity(dict(zip(packed.keys, values)))
+        row = packed.true_counts(activity.to_vector(packed.keys)[None, :])[0]
+        scalar = np.array([e.true_count(activity) for e in packed.events])
+        assert np.array_equal(row, scalar)
+
+    def test_cache_built_once_and_invalidated_on_add(self):
+        registry = EventRegistry(
+            [RawEvent(name="E0", response={"instr.total": 1.0})], name="t"
+        )
+        first = registry.weight_matrix()
+        assert registry.weight_matrix() is first
+        registry.add(RawEvent(name="E1", response={"instr.int": 2.0}))
+        second = registry.weight_matrix()
+        assert second is not first
+        assert second.n_events == 2
+        assert "instr.int" in second.keys
+
+    def test_fallback_for_overridden_true_count(self):
+        class SquaredEvent(RawEvent):
+            def true_count(self, activity):
+                return float(activity.get("instr.total")) ** 2
+
+        linear = RawEvent(name="LIN", response={"instr.total": 3.0})
+        weird = SquaredEvent(name="SQ", response={"instr.total": 1.0})
+        packed = PackedWeights([linear, weird])
+        assert [j for j, _ in packed.fallback] == [1]
+        activity = Activity({"instr.total": 7.0})
+        counts = packed.true_counts(activity.to_vector(packed.keys)[None, :])[0]
+        assert counts[0] == 21.0
+        assert counts[1] == 0.0  # fallback column left for scalar evaluation
+
+    def test_shape_validation(self):
+        packed = PackedWeights([RawEvent(name="E", response={"a": 1.0})])
+        with pytest.raises(ValueError, match="activity matrix"):
+            packed.true_counts(np.zeros((2, 5)))
+
+
+class TestActivityToVector:
+    def test_dense_projection(self):
+        activity = Activity({"a": 1.0, "b": 2.0})
+        assert activity.to_vector(("b", "c", "a")).tolist() == [2.0, 0.0, 1.0]
+
+    def test_shared_key_index(self):
+        activity = Activity({"x": 5.0})
+        keys = ("x", "y")
+        index = {k: i for i, k in enumerate(keys)}
+        assert activity.to_vector(keys, key_index=index).tolist() == [5.0, 0.0]
