@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import zlib
 from functools import lru_cache
-from typing import Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence, Union
 
 import numpy as np
 
@@ -39,6 +39,9 @@ from repro.events.catalogs._builders import log_uniform_sigma
 from repro.events.model import RawEvent
 from repro.events.registry import EventRegistry
 from repro.hardware.systems import MachineNode
+
+if TYPE_CHECKING:
+    from repro.faults import FaultConfig, FaultInjector
 
 __all__ = ["BenchmarkRunner", "CATBenchmark"]
 
@@ -68,9 +71,23 @@ class CATBenchmark(Protocol):
 
 
 class BenchmarkRunner:
-    """Collects measurements of a benchmark over multiple repetitions."""
+    """Collects measurements of a benchmark over multiple repetitions.
 
-    def __init__(self, node: MachineNode, repetitions: int = 5):
+    ``faults`` optionally wraps the measurement in the fault-injection
+    substrate (:mod:`repro.faults`): the run may raise
+    :class:`~repro.faults.TransientMeasurementError` before measuring
+    (retry with ``attempt + 1``), and the returned readings carry the
+    injected dropout/spike/overflow corruption for that attempt.  With
+    ``faults=None`` (default) the path is byte-for-byte the unfaulted
+    one.
+    """
+
+    def __init__(
+        self,
+        node: MachineNode,
+        repetitions: int = 5,
+        faults: Optional[Union["FaultConfig", "FaultInjector"]] = None,
+    ):
         if repetitions < 2:
             raise ValueError(
                 "the noise analysis needs at least two repetitions to "
@@ -78,6 +95,17 @@ class BenchmarkRunner:
             )
         self.node = node
         self.repetitions = repetitions
+        self.faults = self._as_injector(faults)
+
+    @staticmethod
+    def _as_injector(faults):
+        if faults is None:
+            return None
+        from repro.faults import FaultConfig, FaultInjector
+
+        if isinstance(faults, FaultConfig):
+            return FaultInjector(faults)
+        return faults
 
     def select_events(self, benchmark: CATBenchmark) -> EventRegistry:
         """The events a blind sweep measures for this benchmark."""
@@ -91,8 +119,17 @@ class BenchmarkRunner:
         self,
         benchmark: CATBenchmark,
         events: Optional[EventRegistry] = None,
+        attempt: int = 0,
     ) -> MeasurementSet:
-        """Measure ``events`` (default: the benchmark's domain sweep)."""
+        """Measure ``events`` (default: the benchmark's domain sweep).
+
+        ``attempt`` only matters under fault injection: it salts the
+        per-attempt injection streams so a retry draws a fresh fault
+        pattern while a re-run of the same attempt is bit-identical.
+        """
+        context = f"{self.node.name}:{benchmark.name}"
+        if self.faults is not None and self.faults.enabled:
+            self.faults.check_run_failure(context, attempt)
         registry = events if events is not None else self.select_events(benchmark)
         event_list = list(registry)
         if not event_list:
@@ -167,7 +204,7 @@ class BenchmarkRunner:
                 np.maximum(readings, 0.0, out=readings)
             data[:, :, :, j] = readings
 
-        return MeasurementSet(
+        measurement = MeasurementSet(
             benchmark=benchmark.name,
             row_labels=benchmark.row_labels(),
             event_names=[e.full_name for e in event_list],
@@ -175,3 +212,8 @@ class BenchmarkRunner:
             # Scheduling metadata: how many hardware runs the sweep cost.
             pmu_runs=schedule.n_runs,
         )
+        if self.faults is not None and self.faults.enabled:
+            measurement = self.faults.corrupt_measurement(
+                measurement, context, attempt
+            )
+        return measurement

@@ -120,6 +120,58 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--summary", action="store_true", help="print each pipeline's summary"
     )
+    sweep.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject deterministic faults, e.g. "
+        "'seed=7,dropout=0.02,spike=0.01,crash=0.3' "
+        "(see repro.faults.parse_fault_spec)",
+    )
+    sweep.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="checkpoint directory: completed tasks are persisted there "
+        "and loaded instead of re-run on the next invocation",
+    )
+    sweep.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon a task attempt running longer than this "
+        "(pool executors only)",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="re-submissions of a failed/timed-out task (default 1)",
+    )
+    sweep.add_argument(
+        "--digest",
+        action="store_true",
+        help="print a deterministic content digest per task (CI compares "
+        "these across kill/resume runs)",
+    )
+
+    faults = sub.add_parser("faults", help="fault-injection utilities")
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    demo = faults_sub.add_parser(
+        "demo",
+        help="run one faulted pipeline and print the robustness audit table",
+    )
+    demo.add_argument("--domain", default="branch", choices=sorted(DOMAIN_CONFIGS))
+    demo.add_argument("--seed", type=int, default=2024)
+    demo.add_argument(
+        "--spec",
+        default="seed=7,dropout=0.02,spike=0.01,overflow=0.005,runfail=0.5",
+        help="fault specification (same grammar as sweep --faults)",
+    )
+    demo.add_argument(
+        "--summary", action="store_true", help="also print the pipeline summary"
+    )
     return parser
 
 
@@ -161,13 +213,25 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "sweep":
-        from repro.core.sweep import SweepEngine, expand_grid
+        from repro.core.sweep import SweepEngine, expand_grid, result_digest
 
         systems = [s.strip() for s in args.systems.split(",") if s.strip()]
         domains = [d.strip() for d in args.domains.split(",") if d.strip()]
+        faults = None
+        if args.faults:
+            from repro.faults import parse_fault_spec
+
+            try:
+                faults = parse_fault_spec(args.faults)
+            except ValueError as exc:
+                raise SystemExit(f"repro-cat sweep: --faults: {exc}")
         try:
             tasks = expand_grid(
-                systems, domains, seed=args.seed, cache_dir=args.cache_dir
+                systems,
+                domains,
+                seed=args.seed,
+                cache_dir=args.cache_dir,
+                faults=faults,
             )
         except ValueError as exc:
             raise SystemExit(f"repro-cat sweep: error: {exc}")
@@ -176,26 +240,91 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 f"no measurable (system, domain) combination in "
                 f"{systems} x {domains}"
             )
-        engine = SweepEngine(max_workers=args.workers, executor=args.executor)
-        outcomes = engine.run(tasks)
+        engine = SweepEngine(
+            max_workers=args.workers,
+            executor=args.executor,
+            task_timeout=args.task_timeout,
+            max_retries=args.retries,
+        )
+        outcomes = engine.run(tasks, checkpoint_dir=args.resume)
         for outcome in outcomes:
             if not outcome.ok:
-                print(f"[{outcome.task.label}] FAILED: {outcome.error}")
+                print(
+                    f"[{outcome.task.label}] FAILED after {outcome.attempts} "
+                    f"attempt(s): {outcome.error}"
+                )
+                if outcome.traceback:
+                    print(
+                        "\n".join(
+                            f"    {line}"
+                            for line in outcome.traceback.rstrip().splitlines()
+                        )
+                    )
                 continue
             result = outcome.result
             composable = sum(1 for m in result.metrics.values() if m.composable)
-            print(
-                f"[{outcome.task.label}] ok in {outcome.seconds:.2f}s  "
+            how = "resumed" if outcome.resumed else f"ok in {outcome.seconds:.2f}s"
+            if outcome.attempts > 1:
+                how += f" ({outcome.attempts} attempts)"
+            line = (
+                f"[{outcome.task.label}] {how}  "
                 f"events={result.noise.n_measured} "
                 f"selected={len(result.selected_events)} "
                 f"composable={composable}/{len(result.metrics)}"
             )
+            if result.degraded:
+                line += "  DEGRADED"
+            if args.digest:
+                line += f"  digest={result_digest(result)}"
+            print(line)
+        if faults is not None:
+            from repro.faults import merge_reports
+
+            merged = merge_reports(
+                o.result.robustness for o in outcomes if o.ok and o.result
+            )
+            if args.cache_dir and merged.unaccounted():
+                # A worker can corrupt a shared-cache entry after its
+                # owner already read it; no in-run read catches that.
+                # Fsck the cache: quarantining the entry recovers the
+                # fault (the poison is gone, the next read re-measures).
+                from repro.io.cache import MeasurementCache
+
+                fsck = MeasurementCache(root=args.cache_dir)
+                merged.cache_quarantined.extend(fsck.verify_all())
+                merged.mark_cache_recovered(merged.cache_quarantined)
+            print()
+            print(merged.table())
         if args.summary:
             for outcome in outcomes:
                 if outcome.ok:
                     print(f"\n=== {outcome.task.label} ===")
                     print(outcome.result.summary())
         return 0 if all(o.ok for o in outcomes) else 1
+
+    if args.command == "faults":
+        # faults demo: one faulted pipeline, full robustness audit table.
+        from repro.faults import parse_fault_spec
+
+        try:
+            config = parse_fault_spec(args.spec)
+        except ValueError as exc:
+            raise SystemExit(f"repro-cat faults demo: --spec: {exc}")
+        node = _node(_DOMAIN_SYSTEM[args.domain], args.seed)
+        pipeline = AnalysisPipeline.for_domain(args.domain, node, faults=config)
+        result = pipeline.run()
+        print(f"fault injection: {config.describe()}")
+        print(f"pipeline: {args.domain} on {node.name} (seed {args.seed})")
+        print()
+        report = result.robustness
+        if report is None:
+            print("(fault spec enables nothing; pipeline ran unfaulted)")
+            return 0
+        print(report.table())
+        if args.summary:
+            print()
+            print(result.summary())
+        return 0 if not report.unaccounted() else 1
 
     if args.command == "presets":
         from repro.core.derive import derive_presets

@@ -30,10 +30,12 @@ from repro.core.noise_filter import (
 )
 from repro.core.pipeline import AnalysisPipeline, PipelineConfig, PipelineResult
 from repro.core.sweep import (
+    SweepCheckpoint,
     SweepEngine,
     SweepOutcome,
     SweepTask,
     expand_grid,
+    result_digest,
     results_by_label,
 )
 from repro.core.qrcp import QRCPResult, qrcp_specialized, qrcp_standard
@@ -100,12 +102,14 @@ __all__ = [
     "QRCPResult",
     "RepresentationReport",
     "Signature",
+    "SweepCheckpoint",
     "SweepEngine",
     "SweepOutcome",
     "SweepTask",
     "analyze_noise",
     "batch_max_rnmse",
     "expand_grid",
+    "result_digest",
     "results_by_label",
     "branch_basis",
     "branch_signatures",

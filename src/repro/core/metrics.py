@@ -45,6 +45,10 @@ class MetricDefinition:
     coefficients: np.ndarray
     error: float
     signature: Optional[Signature] = None
+    # True when the metric was composed over a fault-degraded X-hat
+    # (events were lost to corruption); the fit is a best effort over the
+    # survivors and the fitness should be read with that caveat.
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         coeffs = np.asarray(self.coefficients, dtype=np.float64)
@@ -101,7 +105,8 @@ class MetricDefinition:
             mag = abs(coeff)
             coeff_str = f"{mag:g}" if 1e-3 <= mag else f"{mag:.2e}"
             lines.append(f"  {sign} {coeff_str} x {event}")
-        header = f"{self.metric}  (error {self.error:.2e})"
+        suffix = "  [DEGRADED]" if self.degraded else ""
+        header = f"{self.metric}  (error {self.error:.2e}){suffix}"
         return "\n".join([header] + lines)
 
 

@@ -1,0 +1,45 @@
+"""Deterministic fault injection and the self-healing substrate around it.
+
+The measurement stack is bit-deterministic and, since PR 1, fast — but it
+assumed a clean world.  This package supplies the adversary: a seedable
+:class:`FaultConfig` naming real PMU pathologies (multiplexing dropouts,
+counter overflow wraps, corruption spikes, transient run failures, worker
+crashes and hangs, on-disk cache corruption), a :class:`FaultInjector`
+that fires them from order-independent per-site streams, the quorum
+:func:`scrub_measurement` repair pass, and the :class:`RobustnessReport`
+that audits every injected fault into a recovered / excluded / degraded
+disposition — never silence.
+
+See ``docs/robustness.md`` for the fault model and the recovery policies.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import (
+    FaultConfig,
+    FaultRecord,
+    InjectedWorkerCrash,
+    TransientMeasurementError,
+    parse_fault_spec,
+)
+from repro.faults.report import RobustnessReport, merge_reports
+from repro.faults.scrub import (
+    ScrubAction,
+    ScrubPolicy,
+    ScrubResult,
+    scrub_measurement,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultRecord",
+    "InjectedWorkerCrash",
+    "RobustnessReport",
+    "ScrubAction",
+    "ScrubPolicy",
+    "ScrubResult",
+    "TransientMeasurementError",
+    "merge_reports",
+    "parse_fault_spec",
+    "scrub_measurement",
+]

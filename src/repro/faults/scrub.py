@@ -1,0 +1,223 @@
+"""Quorum scrubbing: detect and repair corrupted measurement cells.
+
+The noise filter (paper Section IV) protects the analysis from *statistical*
+noise, but injected-style pathologies — multiplexing dropouts (NaN/zero
+cells), saturation wraps, single-repetition spikes — are structural: one
+glitched repetition can push an otherwise pristine event over tau and cost
+the analysis a basis dimension.  The scrubber runs before the noise filter
+and applies a quorum policy across repetitions:
+
+* a cell is an **outlier** when it deviates from the median across
+  repetitions by more than ``outlier_threshold`` (relative);
+* if at least ``quorum`` of the repetitions agree with each other (sit
+  within the threshold of their median), the outlier is *excluded*: its
+  value is replaced by the median of the agreeing repetitions;
+* a NaN cell (dropout) is *recovered* by imputing the median of the
+  non-NaN repetitions;
+* an event with a cell no quorum can repair (too many repetitions lost
+  or disagreeing) is *degraded*: dropped from the measurement entirely,
+  and the pipeline continues over the survivors with its degraded flag
+  raised.
+
+Every decision is returned as a :class:`ScrubAction` carrying the exact
+cell coordinates, so the robustness report can reconcile each injected
+fault with what happened to it.  Scrubbing an uncorrupted measurement is
+the identity: no NaN, no outliers -> the input object is returned
+untouched (property-tested, and the reason the zero-fault pipeline stays
+bit-identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cat.measurement import MeasurementSet
+
+__all__ = ["ScrubAction", "ScrubPolicy", "ScrubResult", "scrub_measurement"]
+
+
+@dataclass(frozen=True)
+class ScrubPolicy:
+    """Knobs of the quorum repair.
+
+    Deviation is measured symmetrically, ``|x - c| / max(|c|, |x|)``,
+    which maps any corruption ratio r to ``1 - 1/r`` regardless of the
+    event's magnitude: a x1000 spike, a zero dropout and an overflow
+    wrap all score ~1.0, while legitimate noise — even the heavy-tailed
+    ~10%-sigma cache regime — stays far below.  The default
+    ``outlier_threshold`` of 0.8 therefore means "a 5x disagreement",
+    cleanly between the two populations.  ``quorum`` is the fraction of
+    repetitions that must agree for the majority value to be trusted.
+    """
+
+    outlier_threshold: float = 0.8
+    quorum: float = 0.6
+    # Events whose repetitions disagree *broadly* (outlier fraction above
+    # this) are not corrupted — they are intrinsically noisy, Section-IV
+    # territory.  The scrubber leaves them alone and the tau filter
+    # excludes them; only sparse, structural corruption is repaired here.
+    max_outlier_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.outlier_threshold <= 0:
+            raise ValueError("outlier_threshold must be positive")
+        if not 0.5 < self.quorum <= 1.0:
+            raise ValueError("quorum must be in (0.5, 1.0]")
+        if not 0.0 < self.max_outlier_fraction <= 1.0:
+            raise ValueError("max_outlier_fraction must be in (0, 1]")
+
+
+@dataclass
+class ScrubAction:
+    """One repair decision at one cell (or one whole-event drop)."""
+
+    action: str  # imputed | excluded | dropped-event
+    event: str
+    coords: Optional[Tuple[int, int, int]] = None  # (rep, thread, row)
+    detail: str = ""
+
+
+@dataclass
+class ScrubResult:
+    """The scrubbed measurement plus the audit trail."""
+
+    measurement: MeasurementSet
+    actions: List[ScrubAction] = field(default_factory=list)
+    dropped_events: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any event was lost outright."""
+        return bool(self.dropped_events)
+
+    @property
+    def clean(self) -> bool:
+        return not self.actions
+
+
+def scrub_measurement(
+    measurement: MeasurementSet, policy: ScrubPolicy = ScrubPolicy()
+) -> ScrubResult:
+    """Repair ``measurement`` under ``policy``.
+
+    Returns the input object itself (not a copy) when nothing needed
+    repair, so the zero-fault path stays bit-identical and allocation-free.
+    """
+    data = measurement.data
+    nan_mask = np.isnan(data)
+    reps = data.shape[0]
+    actions: List[ScrubAction] = []
+
+    # Median over the valid repetitions of each (thread, row, event) cell
+    # is the quorum candidate value.
+    if nan_mask.any():
+        import warnings
+
+        with warnings.catch_warnings():
+            # An all-NaN cell yields a NaN center; it is caught below by
+            # the quorum check (0 agreeing reps), not worth a warning.
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            center = np.nanmedian(data, axis=0)  # (threads, rows, events)
+    else:
+        center = np.median(data, axis=0)
+
+    # Symmetric relative deviation of every cell from its repetition-
+    # median: |x - c| / max(|c|, |x|), in [0, 1] — see ScrubPolicy.  The
+    # tiny floor only guards 0/0 (identical zero cells -> deviation 0).
+    with np.errstate(invalid="ignore"):
+        scale = np.maximum(
+            np.maximum(np.abs(center)[None, ...], np.abs(data)),
+            np.finfo(np.float64).tiny,
+        )
+        deviation = np.abs(data - center[None, ...]) / scale
+    outlier = deviation > policy.outlier_threshold
+    outlier &= ~nan_mask
+
+    # Broadly disagreeing events are noise, not corruption: hands off.
+    # (NaN dropouts are always structural and stay in scope.)
+    n_cells = float(np.prod(data.shape[:3]))
+    outlier_fraction = outlier.sum(axis=(0, 1, 2)) / n_cells
+    noisy_event = outlier_fraction > policy.max_outlier_fraction
+    if noisy_event.any():
+        outlier[:, :, :, noisy_event] = False
+
+    if not nan_mask.any() and not outlier.any():
+        return ScrubResult(measurement=measurement)
+
+    # Two quorum checks per (thread, row, event) cell group, both needing
+    # ceil(quorum * reps) repetitions:
+    # * imputing a NaN dropout needs enough *valid* (non-NaN) reps — the
+    #   median is robust to an outlier among them;
+    # * excluding an outlier needs enough reps *agreeing* with the median
+    #   (valid and within threshold), otherwise the disagreement is
+    #   noise-shaped and the tau filter is the right judge.
+    need = int(np.ceil(policy.quorum * reps))
+    n_valid = (~nan_mask).sum(axis=0)  # (threads, rows, events)
+    n_agree = ((~nan_mask) & (~outlier)).sum(axis=0)
+    outlier &= (n_agree >= need)[None, ...]
+    # A NaN cell without a valid quorum is data that cannot be
+    # reconstructed: the event is lost (degraded).
+    irreparable = (nan_mask & (n_valid < need)[None, ...]).any(axis=(0, 1, 2))
+
+    new_data = data.copy()
+    dropped: List[str] = []
+    keep_idx: List[int] = []
+    for j, event in enumerate(measurement.event_names):
+        if irreparable[j]:
+            dropped.append(event)
+            n_lost = int(nan_mask[:, :, :, j].sum())
+            actions.append(
+                ScrubAction(
+                    action="dropped-event",
+                    event=event,
+                    detail=f"{n_lost} cells lost without quorum to impute",
+                )
+            )
+            continue
+        keep_idx.append(j)
+        col_nan = nan_mask[:, :, :, j]
+        col_out = outlier[:, :, :, j]
+        if col_nan.any():
+            # Median of the agreeing repetitions (the NaN cells are already
+            # excluded from the center by nanmedian).
+            fill = np.broadcast_to(center[:, :, j], col_nan.shape)
+            new_data[:, :, :, j][col_nan] = fill[col_nan]
+            for rep, thread, row in zip(*np.nonzero(col_nan)):
+                actions.append(
+                    ScrubAction(
+                        action="imputed",
+                        event=event,
+                        coords=(int(rep), int(thread), int(row)),
+                        detail="dropout imputed from repetition median",
+                    )
+                )
+        if col_out.any():
+            fill = np.broadcast_to(center[:, :, j], col_out.shape)
+            new_data[:, :, :, j][col_out] = fill[col_out]
+            for rep, thread, row in zip(*np.nonzero(col_out)):
+                actions.append(
+                    ScrubAction(
+                        action="excluded",
+                        event=event,
+                        coords=(int(rep), int(thread), int(row)),
+                        detail="outlier repetition rejected by quorum",
+                    )
+                )
+
+    if dropped:
+        new_data = new_data[:, :, :, keep_idx]
+        event_names = [measurement.event_names[j] for j in keep_idx]
+    else:
+        event_names = list(measurement.event_names)
+
+    scrubbed = MeasurementSet(
+        benchmark=measurement.benchmark,
+        row_labels=list(measurement.row_labels),
+        event_names=event_names,
+        data=new_data,
+        pmu_runs=measurement.pmu_runs,
+    )
+    return ScrubResult(measurement=scrubbed, actions=actions, dropped_events=dropped)

@@ -19,16 +19,28 @@ The key covers everything a reading depends on: the node fingerprint
 (name, kernel rows, threads, environment noise), the content of the event
 set (full names, response weights, noise models), and the repetition
 count.  Anything that could change a bit of the data changes the key.
+
+Integrity: every disk entry carries a ``.sha256`` sidecar with content
+checksums of both artifact files, written atomically alongside them.  A
+read verifies the checksums (and survives a decode failure) before the
+entry is trusted; anything corrupt — truncated write, torn page, bit rot,
+or the fault injector's ``cache_corruption_rate`` — is moved to a
+``quarantine/`` subdirectory, logged, counted in ``stats.corrupt``, and
+reported as a miss so the caller transparently re-measures.  The keys of
+quarantined entries are kept on ``cache.quarantined`` for the robustness
+audit.  A disk layer that stops being writable (permissions, read-only
+mount) is disabled with a logged warning instead of sinking the run.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Optional, Union
+from typing import Iterable, List, Optional, Union
 
 from repro.cat.measurement import MeasurementSet
 from repro.events.model import RawEvent
@@ -41,6 +53,8 @@ __all__ = [
     "event_set_digest",
     "measurement_cache_key",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 def event_set_digest(events: Iterable[RawEvent]) -> str:
@@ -110,6 +124,9 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    # Disk entries that failed checksum verification (or decoding) and
+    # were quarantined; each also counts as a miss.
+    corrupt: int = 0
 
     @property
     def hits(self) -> int:
@@ -141,12 +158,67 @@ class MeasurementCache:
         self.max_memory_entries = max_memory_entries
         self._memory: "OrderedDict[str, MeasurementSet]" = OrderedDict()
         self.stats = CacheStats()
+        # Keys of entries that failed verification and were set aside;
+        # the robustness report reconciles injected cache corruption
+        # against this list (the entry was caught, not trusted).
+        self.quarantined: List[str] = []
 
     # ------------------------------------------------------------------
     def _disk_path(self, key: str) -> Optional[Path]:
         if self.root is None:
             return None
         return self.root / key[:2] / key
+
+    @staticmethod
+    def _entry_files(path: Path) -> List[Path]:
+        return [path.with_suffix(".npz"), path.with_suffix(".json")]
+
+    @staticmethod
+    def _checksum_path(path: Path) -> Path:
+        return path.with_suffix(".sha256")
+
+    @classmethod
+    def _digests(cls, path: Path) -> dict:
+        return {
+            f.suffix.lstrip("."): hashlib.sha256(f.read_bytes()).hexdigest()
+            for f in cls._entry_files(path)
+            if f.exists()
+        }
+
+    def _verify(self, path: Path) -> None:
+        """Raise ``ValueError`` when the entry's checksums do not match.
+
+        An entry without a ``.sha256`` sidecar (written by an older run)
+        is not failed outright — decoding is still the fallback check.
+        """
+        checksum_file = self._checksum_path(path)
+        if not checksum_file.exists():
+            return
+        expected = json.loads(checksum_file.read_text())
+        actual = self._digests(path)
+        if actual != expected:
+            bad = sorted(k for k in expected if actual.get(k) != expected[k])
+            raise ValueError(f"checksum mismatch on {', '.join(bad) or 'entry'}")
+
+    def _quarantine(self, key: str, path: Path, reason: Exception) -> None:
+        """Set a corrupt entry aside (never delete: it is evidence)."""
+        quarantine_dir = self.root / "quarantine"
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        moved = []
+        for f in self._entry_files(path) + [self._checksum_path(path)]:
+            if f.exists():
+                f.replace(quarantine_dir / f.name)
+                moved.append(f.name)
+        self.quarantined.append(key)
+        self.stats.corrupt += 1
+        logger.warning(
+            "cache entry %s failed verification (%s: %s); quarantined %s "
+            "and re-measuring",
+            key[:12],
+            type(reason).__name__,
+            reason,
+            ", ".join(moved),
+        )
 
     def _remember(self, key: str, measurement: MeasurementSet) -> None:
         self._memory[key] = measurement
@@ -156,7 +228,11 @@ class MeasurementCache:
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[MeasurementSet]:
-        """The cached measurement for ``key``, or ``None`` on a miss."""
+        """The cached measurement for ``key``, or ``None`` on a miss.
+
+        A disk entry is only a hit after its checksums verify and it
+        decodes; a corrupt entry is quarantined and reported as a miss.
+        """
         cached = self._memory.get(key)
         if cached is not None:
             self._memory.move_to_end(key)
@@ -164,10 +240,15 @@ class MeasurementCache:
             return cached
         path = self._disk_path(key)
         if path is not None and path.with_suffix(".npz").exists():
-            measurement = load_measurements(path)
-            self._remember(key, measurement)
-            self.stats.disk_hits += 1
-            return measurement
+            try:
+                self._verify(path)
+                measurement = load_measurements(path)
+            except Exception as exc:  # corrupt entry: quarantine, miss
+                self._quarantine(key, path, exc)
+            else:
+                self._remember(key, measurement)
+                self.stats.disk_hits += 1
+                return measurement
         self.stats.misses += 1
         return None
 
@@ -176,9 +257,50 @@ class MeasurementCache:
         self._remember(key, measurement)
         self.stats.stores += 1
         path = self._disk_path(key)
-        if path is not None:
+        if path is None:
+            return
+        try:
             path.parent.mkdir(parents=True, exist_ok=True)
             save_measurements(measurement, path)
+            checksums = self._digests(path)
+            tmp = self._checksum_path(path).with_suffix(".sha256.tmp")
+            tmp.write_text(json.dumps(checksums, sort_keys=True))
+            tmp.replace(self._checksum_path(path))
+        except (OSError, PermissionError) as exc:
+            # A disk layer that cannot be written must not sink the run;
+            # keep the in-memory layer and stop touching the disk.
+            logger.warning(
+                "measurement cache disk layer at %s is not writable "
+                "(%s: %s); disabling it for this cache instance",
+                self.root,
+                type(exc).__name__,
+                exc,
+            )
+            self.root = None
+
+    def verify_all(self) -> List[str]:
+        """Verify every on-disk entry; quarantine the corrupt ones and
+        return their keys (a cache fsck).
+
+        In a shared-cache sweep an entry can be corrupted *after* the
+        task that owns it already read it, so no in-run read would catch
+        the damage; a post-sweep pass closes that hole and scrubs the
+        poison out before any later run trusts the directory.
+        """
+        if self.root is None or not self.root.exists():
+            return []
+        caught: List[str] = []
+        for npz in sorted(self.root.glob("*/*.npz")):
+            if npz.parent.name == "quarantine":
+                continue
+            path = npz.with_suffix("")
+            try:
+                self._verify(path)
+                load_measurements(path)
+            except Exception as exc:
+                self._quarantine(path.name, path, exc)
+                caught.append(path.name)
+        return caught
 
     def get_or_measure(self, key: str, measure) -> MeasurementSet:
         """The cached measurement, or ``measure()``'s result (then cached)."""

@@ -1,0 +1,199 @@
+"""Property tests for the fault injector's determinism contract.
+
+The contract: injection is a pure function of (config, site, attempt) —
+independent of execution order, process, or how many other sites were
+visited first.  Everything downstream (parallel == serial sweeps,
+checkpoint resume, the CI kill/resume smoke test) leans on this.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cat import BranchBenchmark
+from repro.cat.runner import BenchmarkRunner
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    InjectedWorkerCrash,
+    TransientMeasurementError,
+)
+from repro.hardware.systems import aurora_node
+
+
+@pytest.fixture(scope="module")
+def clean_measurement():
+    node = aurora_node()
+    runner = BenchmarkRunner(node)
+    return runner.run(BranchBenchmark())
+
+
+CONFIG = FaultConfig(
+    seed=13,
+    dropout_rate=0.03,
+    spike_rate=0.02,
+    overflow_bits=7,
+    overflow_rate=0.05,
+)
+
+
+class TestDeterminism:
+    def test_same_config_bit_identical(self, clean_measurement):
+        a = FaultInjector(CONFIG).corrupt_measurement(clean_measurement, "ctx")
+        b = FaultInjector(CONFIG).corrupt_measurement(clean_measurement, "ctx")
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_order_independent(self, clean_measurement):
+        """Corrupting contexts in either order yields identical data —
+        each site has its own stream, there is no shared cursor."""
+        inj1 = FaultInjector(CONFIG)
+        first_a = inj1.corrupt_measurement(clean_measurement, "a")
+        inj1.corrupt_measurement(clean_measurement, "b")
+
+        inj2 = FaultInjector(CONFIG)
+        inj2.corrupt_measurement(clean_measurement, "b")
+        second_a = inj2.corrupt_measurement(clean_measurement, "a")
+        np.testing.assert_array_equal(first_a.data, second_a.data)
+
+    def test_records_match_between_runs(self, clean_measurement):
+        inj1, inj2 = FaultInjector(CONFIG), FaultInjector(CONFIG)
+        inj1.corrupt_measurement(clean_measurement, "ctx")
+        inj2.corrupt_measurement(clean_measurement, "ctx")
+        key = lambda r: (r.kind, r.event, r.coords)
+        assert sorted(map(key, inj1.records)) == sorted(map(key, inj2.records))
+
+    def test_attempts_draw_fresh_patterns(self, clean_measurement):
+        inj = FaultInjector(CONFIG)
+        a0 = inj.corrupt_measurement(clean_measurement, "ctx", attempt=0)
+        a1 = inj.corrupt_measurement(clean_measurement, "ctx", attempt=1)
+        assert not np.array_equal(
+            np.nan_to_num(a0.data), np.nan_to_num(a1.data)
+        )
+
+    def test_different_seeds_differ(self, clean_measurement):
+        a = FaultInjector(CONFIG).corrupt_measurement(clean_measurement, "ctx")
+        b = FaultInjector(
+            FaultConfig(
+                seed=14,
+                dropout_rate=0.03,
+                spike_rate=0.02,
+                overflow_bits=7,
+                overflow_rate=0.05,
+            )
+        ).corrupt_measurement(clean_measurement, "ctx")
+        assert not np.array_equal(np.nan_to_num(a.data), np.nan_to_num(b.data))
+
+
+class TestZeroFaultIdentity:
+    def test_zero_config_returns_same_object(self, clean_measurement):
+        inj = FaultInjector(FaultConfig(seed=99))
+        out = inj.corrupt_measurement(clean_measurement, "ctx")
+        assert out is clean_measurement
+        assert inj.records == []
+
+    def test_zero_rate_checks_never_fire(self):
+        inj = FaultInjector(FaultConfig(seed=99))
+        inj.check_run_failure("ctx")
+        inj.check_worker_crash("ctx")
+        assert inj.hang_duration("ctx") == 0.0
+
+
+class TestCorruptionSemantics:
+    def test_dropouts_are_nan_and_recorded(self, clean_measurement):
+        config = FaultConfig(seed=5, dropout_rate=0.05)
+        inj = FaultInjector(config)
+        out = inj.corrupt_measurement(clean_measurement, "ctx")
+        n_nan = int(np.isnan(out.data).sum())
+        assert n_nan > 0
+        assert n_nan == sum(1 for r in inj.records if r.kind == "dropout")
+        # Records point at exactly the NaN cells.
+        for record in inj.records[:20]:
+            rep, thread, row = record.coords
+            j = out.event_names.index(record.event)
+            assert np.isnan(out.data[rep, thread, row, j])
+
+    def test_dropout_value_zero(self, clean_measurement):
+        config = FaultConfig(seed=5, dropout_rate=0.05, dropout_value=0.0)
+        out = FaultInjector(config).corrupt_measurement(clean_measurement, "ctx")
+        assert not np.isnan(out.data).any()
+
+    def test_spikes_scale_cells(self, clean_measurement):
+        config = FaultConfig(seed=5, spike_rate=0.02, spike_scale=100.0)
+        inj = FaultInjector(config)
+        out = inj.corrupt_measurement(clean_measurement, "ctx")
+        assert inj.records
+        for record in inj.records[:20]:
+            rep, thread, row = record.coords
+            j = out.event_names.index(record.event)
+            original = clean_measurement.data[rep, thread, row, j]
+            assert out.data[rep, thread, row, j] == pytest.approx(100.0 * original)
+
+    def test_overflow_wraps_below_modulus(self, clean_measurement):
+        # The modulus must sit below the benchmark's actual counts or no
+        # cell can saturate (as on hardware: only big counts wrap).
+        config = FaultConfig(seed=5, overflow_bits=7, overflow_rate=0.2)
+        inj = FaultInjector(config)
+        out = inj.corrupt_measurement(clean_measurement, "ctx")
+        modulus = 2.0**7
+        wraps = [r for r in inj.records if r.kind == "overflow"]
+        assert wraps
+        for record in wraps[:20]:
+            rep, thread, row = record.coords
+            j = out.event_names.index(record.event)
+            assert clean_measurement.data[rep, thread, row, j] >= modulus
+            assert out.data[rep, thread, row, j] < modulus
+
+    def test_original_object_untouched(self, clean_measurement):
+        before = clean_measurement.data.copy()
+        FaultInjector(CONFIG).corrupt_measurement(clean_measurement, "ctx")
+        np.testing.assert_array_equal(clean_measurement.data, before)
+
+
+class TestTaskFaults:
+    def test_transient_failure_clears_on_retry(self):
+        inj = FaultInjector(FaultConfig(seed=1, run_failure_rate=1.0))
+        with pytest.raises(TransientMeasurementError):
+            inj.check_run_failure("ctx", attempt=0)
+        inj.check_run_failure("ctx", attempt=1)  # no raise
+
+    def test_persistent_failure_fires_every_attempt(self):
+        inj = FaultInjector(
+            FaultConfig(seed=1, run_failure_rate=1.0, transient=False)
+        )
+        for attempt in range(3):
+            with pytest.raises(TransientMeasurementError):
+                inj.check_run_failure("ctx", attempt=attempt)
+
+    def test_crash_is_recorded_before_raising(self):
+        inj = FaultInjector(FaultConfig(seed=1, crash_rate=1.0))
+        with pytest.raises(InjectedWorkerCrash):
+            inj.check_worker_crash("task")
+        assert [r.kind for r in inj.records] == ["crash"]
+
+    def test_hang_duration(self):
+        inj = FaultInjector(FaultConfig(seed=1, hang_rate=1.0, hang_seconds=2.5))
+        assert inj.hang_duration("task") == 2.5
+        assert inj.hang_duration("task", attempt=1) == 0.0  # transient
+
+
+class TestCacheCorruption:
+    def test_truncates_existing_entries(self, tmp_path):
+        blob = b"x" * 1000
+        entry = tmp_path / "ab" / "abcd.npz"
+        entry.parent.mkdir()
+        entry.write_bytes(blob)
+        inj = FaultInjector(FaultConfig(seed=1, cache_corruption_rate=1.0))
+        assert inj.maybe_corrupt_cache(tmp_path, "ctx") == 1
+        assert entry.stat().st_size == 500
+        assert [r.kind for r in inj.records] == ["cache-corruption"]
+
+    def test_skips_quarantine_dir(self, tmp_path):
+        entry = tmp_path / "quarantine" / "abcd.npz"
+        entry.parent.mkdir()
+        entry.write_bytes(b"x" * 100)
+        inj = FaultInjector(FaultConfig(seed=1, cache_corruption_rate=1.0))
+        assert inj.maybe_corrupt_cache(tmp_path, "ctx") == 0
+        assert entry.stat().st_size == 100
+
+    def test_zero_rate_is_noop(self, tmp_path):
+        inj = FaultInjector(FaultConfig(seed=1))
+        assert inj.maybe_corrupt_cache(tmp_path, "ctx") == 0

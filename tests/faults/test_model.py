@@ -1,0 +1,100 @@
+"""Tests for the fault model: configuration, spec parsing, records."""
+
+import math
+
+import pytest
+
+from repro.faults import FaultConfig, parse_fault_spec
+from repro.faults.model import FaultRecord
+
+
+class TestFaultConfig:
+    def test_default_is_disabled(self):
+        config = FaultConfig()
+        assert not config.enabled
+        assert not config.any_measurement_faults
+
+    def test_any_rate_enables(self):
+        assert FaultConfig(dropout_rate=0.1).enabled
+        assert FaultConfig(crash_rate=0.1).enabled
+        assert FaultConfig(cache_corruption_rate=0.1).enabled
+
+    def test_measurement_faults_exclude_task_faults(self):
+        assert FaultConfig(spike_rate=0.1).any_measurement_faults
+        assert not FaultConfig(crash_rate=0.5).any_measurement_faults
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dropout_rate": -0.1},
+            {"dropout_rate": 1.5},
+            {"spike_rate": 2.0},
+            {"overflow_bits": -1},
+            {"hang_seconds": -1.0},
+            {"spike_scale": 0.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs)
+
+    def test_describe_mentions_active_faults(self):
+        text = FaultConfig(seed=3, dropout_rate=0.25).describe()
+        assert "dropout" in text and "0.25" in text
+
+
+class TestParseFaultSpec:
+    def test_aliases(self):
+        config = parse_fault_spec(
+            "seed=9,dropout=0.1,spike=0.05,overflow=0.01,runfail=0.2,"
+            "crash=0.3,hang=0.4,cache=0.5"
+        )
+        assert config.seed == 9
+        assert config.dropout_rate == 0.1
+        assert config.spike_rate == 0.05
+        assert config.overflow_rate == 0.01
+        assert config.run_failure_rate == 0.2
+        assert config.crash_rate == 0.3
+        assert config.hang_rate == 0.4
+        assert config.cache_corruption_rate == 0.5
+
+    def test_full_names_and_bool(self):
+        config = parse_fault_spec("dropout_rate=0.2,transient=false,overflow_bits=48")
+        assert config.dropout_rate == 0.2
+        assert config.transient is False
+        assert config.overflow_bits == 48
+
+    def test_roundtrips_describe(self):
+        config = parse_fault_spec("seed=5,dropout=0.1,spike=0.02")
+        assert parse_fault_spec(config.describe()) == config
+
+    @pytest.mark.parametrize("spec", ["nonsense=1", "dropout", "dropout=x"])
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_fault_spec(spec)
+
+    def test_empty_spec_is_disabled(self):
+        assert not parse_fault_spec("seed=42").enabled
+
+
+class TestFaultRecord:
+    def test_cell_key(self):
+        record = FaultRecord(
+            kind="spike", context="c", event="E", coords=(1, 2, 3)
+        )
+        assert record.cell_key == ("E", (1, 2, 3))
+
+    def test_cell_key_none_without_coords(self):
+        assert FaultRecord(kind="crash", context="c").cell_key is None
+
+    def test_default_outcome_is_injected(self):
+        assert FaultRecord(kind="dropout", context="c").outcome == "injected"
+
+
+class TestDropoutValue:
+    def test_default_dropout_is_nan(self):
+        assert math.isnan(FaultConfig().dropout_value)
+
+    def test_zero_dropout_value_allowed(self):
+        config = FaultConfig(dropout_rate=0.1, dropout_value=0.0)
+        assert config.dropout_value == 0.0

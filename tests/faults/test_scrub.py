@@ -1,0 +1,118 @@
+"""Tests for the quorum scrubber."""
+
+import numpy as np
+import pytest
+
+from repro.cat.measurement import MeasurementSet
+from repro.faults import ScrubPolicy, scrub_measurement
+
+
+def make_measurement(data):
+    data = np.asarray(data, dtype=np.float64)
+    reps, threads, rows, events = data.shape
+    return MeasurementSet(
+        benchmark="synthetic",
+        row_labels=[f"row{i}" for i in range(rows)],
+        event_names=[f"E{j}" for j in range(events)],
+        data=data,
+    )
+
+
+def uniform(value, reps=5, threads=2, rows=3, events=2):
+    return np.full((reps, threads, rows, events), float(value))
+
+
+class TestCleanIdentity:
+    def test_clean_measurement_returned_untouched(self):
+        m = make_measurement(uniform(100.0))
+        result = scrub_measurement(m)
+        assert result.measurement is m  # same object: bit-identity for free
+        assert result.clean
+        assert not result.degraded
+
+    def test_legitimate_noise_not_repaired(self):
+        rng = np.random.default_rng(0)
+        base = uniform(1000.0)
+        noisy = base * (1.0 + rng.normal(0.0, 0.05, base.shape))
+        result = scrub_measurement(make_measurement(noisy))
+        assert result.clean
+
+
+class TestImputation:
+    def test_nan_cell_imputed_from_median(self):
+        data = uniform(100.0)
+        data[2, 0, 1, 0] = np.nan
+        result = scrub_measurement(make_measurement(data))
+        assert result.measurement.data[2, 0, 1, 0] == 100.0
+        (action,) = result.actions
+        assert action.action == "imputed"
+        assert action.event == "E0"
+        assert action.coords == (2, 0, 1)
+
+    def test_imputation_robust_to_coexisting_outlier(self):
+        data = uniform(100.0)
+        data[0, 0, 0, 0] = np.nan
+        data[1, 0, 0, 0] = 1e6  # spike among the remaining reps
+        result = scrub_measurement(make_measurement(data))
+        assert result.measurement.data[0, 0, 0, 0] == 100.0
+
+
+class TestOutlierExclusion:
+    def test_spiked_cell_replaced_by_quorum_median(self):
+        data = uniform(100.0)
+        data[3, 1, 2, 1] = 1e5
+        result = scrub_measurement(make_measurement(data))
+        assert result.measurement.data[3, 1, 2, 1] == 100.0
+        (action,) = result.actions
+        assert action.action == "excluded"
+        assert action.coords == (3, 1, 2)
+
+    def test_broad_disagreement_left_to_tau_filter(self):
+        """An event whose repetitions disagree everywhere is noise, not
+        corruption: the scrubber must not manufacture consensus."""
+        rng = np.random.default_rng(1)
+        data = uniform(100.0)
+        # Log-uniform over six decades: nearly every repetition pair
+        # disagrees by more than the 5x threshold.
+        data[:, :, :, 0] = 10.0 ** rng.uniform(0.0, 6.0, data.shape[:3])
+        result = scrub_measurement(make_measurement(data))
+        assert result.measurement.data[:, :, :, 0] == pytest.approx(
+            data[:, :, :, 0]
+        )
+
+
+class TestDegradation:
+    def test_event_without_quorum_dropped(self):
+        data = uniform(100.0)
+        data[0:4, 0, 0, 1] = np.nan  # 4 of 5 reps lost: no quorum
+        result = scrub_measurement(make_measurement(data))
+        assert result.dropped_events == ["E1"]
+        assert result.degraded
+        assert result.measurement.event_names == ["E0"]
+        assert result.measurement.data.shape[-1] == 1
+        assert any(a.action == "dropped-event" for a in result.actions)
+
+    def test_survivors_keep_their_data(self):
+        data = uniform(100.0)
+        data[:, :, :, 1] = 777.0
+        data[0:5, 0, 0, 0] = np.nan
+        result = scrub_measurement(make_measurement(data))
+        assert result.dropped_events == ["E0"]
+        np.testing.assert_array_equal(
+            result.measurement.data[..., 0], data[..., 1]
+        )
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"outlier_threshold": 0.0},
+            {"quorum": 0.5},
+            {"quorum": 1.5},
+            {"max_outlier_fraction": 0.0},
+        ],
+    )
+    def test_rejects_bad_policies(self, kwargs):
+        with pytest.raises(ValueError):
+            ScrubPolicy(**kwargs)
