@@ -17,6 +17,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.pipeline import AnalysisPipeline, DOMAIN_CONFIGS, PipelineConfig
+from repro.guard import GuardViolation
 from repro.hardware.systems import aurora_node, frontier_node
 from repro.io.store import save_presets
 from repro.viz.ascii import log_scatter
@@ -57,6 +58,25 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--repetitions", type=int, default=None)
     run.add_argument("--rounded", action="store_true", help="show rounded coefficients")
     run.add_argument("--save-presets", metavar="PATH", default=None)
+    run.add_argument(
+        "--rcond",
+        type=float,
+        default=None,
+        help="least-squares rank-truncation threshold "
+        "(default: LAPACK convention max(m,n)*eps)",
+    )
+    run.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (exit 2) instead of printing metrics whose certification "
+        "is 'reject' or whose selection needed guarded intervention",
+    )
+    run.add_argument(
+        "--no-guard",
+        action="store_true",
+        help="disable the numerical-robustness layer "
+        "(sentinels, fallback ladders, certification)",
+    )
 
     noise = sub.add_parser("noise", help="Fig 2-style variability plot")
     noise.add_argument("--domain", required=True, choices=sorted(DOMAIN_CONFIGS))
@@ -172,6 +192,23 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--summary", action="store_true", help="also print the pipeline summary"
     )
+
+    guard = sub.add_parser("guard", help="numerical-robustness utilities")
+    guard_sub = guard.add_subparsers(dest="guard_command", required=True)
+    smoke = guard_sub.add_parser(
+        "smoke",
+        help="run a deliberately ill-conditioned catalog and verify the "
+        "guards degrade it to caution (never certified, never a crash)",
+    )
+    smoke.add_argument("--seed", type=int, default=2024)
+    smoke.add_argument(
+        "--strict",
+        action="store_true",
+        help="expect strict mode to raise, naming the forged columns",
+    )
+    smoke.add_argument(
+        "--summary", action="store_true", help="also print the pipeline summary"
+    )
     return parser
 
 
@@ -184,11 +221,47 @@ def _config_for(args) -> PipelineConfig:
         overrides["alpha"] = args.alpha
     if getattr(args, "repetitions", None) is not None:
         overrides["repetitions"] = args.repetitions
+    if getattr(args, "rcond", None) is not None:
+        overrides["lstsq_rcond"] = args.rcond
+    if getattr(args, "no_guard", False):
+        from repro.guard import GuardConfig
+
+        overrides["guard"] = GuardConfig(enabled=False)
+    if getattr(args, "strict", False):
+        overrides["strict"] = True
     if not overrides:
         return base
     from dataclasses import replace
 
     return replace(base, **overrides)
+
+
+def _validate_args(args) -> None:
+    """Boundary validation of CLI numerics: fail with the validator's
+    actionable message instead of a traceback from deep in the pipeline."""
+    from repro.guard import ValidationError
+    from repro.guard import validate as v
+
+    context = f"repro-cat {args.command}"
+    try:
+        if hasattr(args, "seed"):
+            v.require_int(args.seed, "--seed", context, minimum=0)
+        if getattr(args, "tau", None) is not None:
+            v.require_positive(args.tau, "--tau", context)
+        if getattr(args, "alpha", None) is not None:
+            v.require_positive(args.alpha, "--alpha", context)
+        if getattr(args, "repetitions", None) is not None:
+            v.require_int(args.repetitions, "--repetitions", context, minimum=2)
+        if getattr(args, "rcond", None) is not None:
+            v.require_positive(args.rcond, "--rcond", context)
+        if getattr(args, "workers", None) is not None:
+            v.require_int(args.workers, "--workers", context, minimum=1)
+        if getattr(args, "retries", None) is not None:
+            v.require_int(args.retries, "--retries", context, minimum=0)
+        if getattr(args, "task_timeout", None) is not None:
+            v.require_positive(args.task_timeout, "--task-timeout", context)
+    except ValidationError as exc:
+        raise SystemExit(str(exc))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -205,6 +278,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    _validate_args(args)
+
+    if args.command == "guard":
+        # guard smoke: the ill-conditioned catalog must degrade, not crash.
+        from repro.guard.smoke import run_smoke
+
+        outcome = run_smoke(seed=args.seed, strict=args.strict)
+        print(outcome.describe())
+        if args.summary and outcome.result is not None:
+            print()
+            print(outcome.result.summary())
+        return 0 if outcome.passed else 1
 
     if args.command == "list-events":
         node = _node(args.system, args.seed)
@@ -383,7 +468,11 @@ def _main(argv: Optional[List[str]] = None) -> int:
 
     # command == "run"
     pipeline = AnalysisPipeline.for_domain(args.domain, node, config=_config_for(args))
-    result = pipeline.run()
+    try:
+        result = pipeline.run()
+    except GuardViolation as exc:
+        print(f"repro-cat run: {exc}", file=sys.stderr)
+        return 2
     print(result.summary())
     print()
     metrics = result.rounded_metrics if args.rounded else result.metrics

@@ -20,7 +20,7 @@ and snapping them recovers the exact combination.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +28,10 @@ from repro.core.signatures import Signature
 from repro.linalg import lstsq_qr
 from repro.linalg.norms import backward_error
 from repro.papi.presets import PAPI_PRESET_NAMES, PresetMetric
+
+if TYPE_CHECKING:
+    from repro.guard.certify import TrustScore
+    from repro.guard.health import GuardConfig, NumericalHealth
 
 __all__ = ["MetricDefinition", "compose_metric", "round_coefficients"]
 
@@ -49,6 +53,12 @@ class MetricDefinition:
     # (events were lost to corruption); the fit is a best effort over the
     # survivors and the fitness should be read with that caveat.
     degraded: bool = False
+    # Conditioning sentinel readings of the composition solve (populated
+    # when the pipeline runs with a guard config).
+    health: Optional["NumericalHealth"] = None
+    # Leave-one-kernel-out certification stamp (certified/caution/reject
+    # with reasons); None when certification was not run.
+    trust: Optional["TrustScore"] = None
 
     def __post_init__(self) -> None:
         coeffs = np.asarray(self.coefficients, dtype=np.float64)
@@ -106,6 +116,8 @@ class MetricDefinition:
             coeff_str = f"{mag:g}" if 1e-3 <= mag else f"{mag:.2e}"
             lines.append(f"  {sign} {coeff_str} x {event}")
         suffix = "  [DEGRADED]" if self.degraded else ""
+        if self.trust is not None:
+            suffix += f"  [trust: {self.trust.level}]"
         header = f"{self.metric}  (error {self.error:.2e}){suffix}"
         return "\n".join([header] + lines)
 
@@ -115,8 +127,16 @@ def compose_metric(
     x_hat: np.ndarray,
     event_names: Sequence[str],
     signature: Signature,
+    rcond: Optional[float] = None,
+    guard: Optional["GuardConfig"] = None,
 ) -> MetricDefinition:
-    """Solve ``X-hat y = s`` and wrap the result (paper Section VI)."""
+    """Solve ``X-hat y = s`` and wrap the result (paper Section VI).
+
+    With ``guard``, the solve carries a conditioning sentinel and engages
+    the fallback ladder (column-scaled re-factorization + iterative
+    refinement) when the selection is ill-conditioned; the resulting
+    health record rides on the definition.
+    """
     x_hat = np.asarray(x_hat, dtype=np.float64)
     if x_hat.shape[1] != len(event_names):
         raise ValueError(
@@ -127,13 +147,14 @@ def compose_metric(
             f"X-hat rows {x_hat.shape[0]} do not match signature dimension "
             f"{signature.coords.shape[0]}"
         )
-    result = lstsq_qr(x_hat, signature.coords)
+    result = lstsq_qr(x_hat, signature.coords, rcond=rcond, guard=guard)
     return MetricDefinition(
         metric=metric_name,
         event_names=tuple(event_names),
         coefficients=result.x,
         error=result.backward_error,
         signature=signature,
+        health=result.health,
     )
 
 

@@ -46,6 +46,7 @@ from repro.core.qrcp import QRCPResult, qrcp_specialized
 from repro.core.representation import RepresentationReport, represent_events
 from repro.core.signatures import Signature, signatures_for
 from repro.events.registry import EventRegistry
+from repro.guard import GuardConfig, GuardViolation, certify_metric, require_finite
 from repro.hardware.systems import MachineNode
 from repro.papi.presets import PresetTable
 
@@ -79,6 +80,16 @@ class PipelineConfig:
     # transient failure or an irreparably corrupted reading (only
     # exercised when a fault injector or scrub policy is active).
     max_measure_retries: int = 2
+    # Rank-truncation threshold for the least-squares solves; None uses
+    # the LAPACK convention max(m, n) * eps (repro.linalg.default_rcond).
+    lstsq_rcond: Optional[float] = None
+    # Numerical-robustness layer: conditioning sentinels on the QRCP and
+    # composition solves, fallback ladders past the thresholds, and
+    # leave-one-kernel-out certification of every composed metric.
+    guard: GuardConfig = GuardConfig()
+    # Strict mode: raise GuardViolation (naming the offending events)
+    # instead of returning metrics whose trust stamp is ``reject``.
+    strict: bool = False
 
     def __post_init__(self) -> None:
         if self.tau <= 0 or self.alpha <= 0 or self.representation_threshold <= 0:
@@ -87,6 +98,10 @@ class PipelineConfig:
             raise ValueError("need at least two repetitions")
         if self.max_measure_retries < 0:
             raise ValueError("max_measure_retries must be >= 0")
+        if self.lstsq_rcond is not None and self.lstsq_rcond <= 0:
+            raise ValueError("lstsq_rcond must be positive (or None for default)")
+        if not isinstance(self.guard, GuardConfig):
+            raise ValueError("guard must be a GuardConfig")
 
 
 #: Paper-stated thresholds per benchmark domain.
@@ -142,10 +157,20 @@ class PipelineResult:
         ]
         for name in self.selected_events:
             lines.append(f"  {name}")
+        if self.qrcp.health is not None:
+            lines.append(f"  numerical health: {self.qrcp.health.describe()}")
         lines.append("metrics:")
         for metric in self.metrics.values():
             status = "ok" if metric.composable else "NOT COMPOSABLE"
-            lines.append(f"  {metric.metric:<40} error {metric.error:.2e}  [{status}]")
+            trust = (
+                f"  trust={metric.trust.describe()}"
+                if metric.trust is not None
+                else ""
+            )
+            lines.append(
+                f"  {metric.metric:<40} error {metric.error:.2e}  "
+                f"[{status}]{trust}"
+            )
         return "\n".join(lines)
 
 
@@ -203,6 +228,7 @@ class AnalysisPipeline:
         cache: Optional["MeasurementCache"] = None,
         faults: Optional[object] = None,
         scrub_policy: Optional["ScrubPolicy"] = None,
+        events: Optional[EventRegistry] = None,
         **benchmark_kwargs,
     ) -> "AnalysisPipeline":
         """Standard wiring for the paper's four benchmark domains."""
@@ -239,6 +265,7 @@ class AnalysisPipeline:
             basis=basis,
             signatures=signatures_for(domain),
             config=config or DOMAIN_CONFIGS[domain],
+            events=events,
             cache=cache,
             faults=faults,
             scrub_policy=scrub_policy,
@@ -428,6 +455,20 @@ class AnalysisPipeline:
         disk) to skip the benchmark run."""
         config = self.config
         robustness: Optional["RobustnessReport"] = None
+        if (
+            measurement is not None
+            and config.guard.enabled
+            and self.scrub_policy is None
+        ):
+            # An externally supplied measurement (from disk, a cache, a
+            # remote run) gets boundary-checked before it reaches the
+            # solvers; internally measured data goes through the fault
+            # scrubber instead, which owns NaN repair.
+            require_finite(
+                np.asarray(measurement.data),
+                "measurement.data",
+                context=f"pipeline[{self.basis.name}]",
+            )
         if measurement is None:
             if self._injector is not None or self.scrub_policy is not None:
                 from repro.faults import RobustnessReport
@@ -475,21 +516,54 @@ class AnalysisPipeline:
                 if record.outcome == "injected" and record.event in rejected:
                     record.outcome = "excluded"
 
-        qrcp = qrcp_specialized(representation.x_matrix, alpha=config.alpha)
+        qrcp = qrcp_specialized(
+            representation.x_matrix, alpha=config.alpha, guard=config.guard
+        )
         selected_idx = qrcp.selected
         selected_events = [representation.event_names[i] for i in selected_idx]
         x_hat = representation.x_matrix[:, selected_idx]
+
+        qrcp_guards = qrcp.health.guards_fired if qrcp.health is not None else ()
+        certify = config.guard.enabled and config.guard.certify
+        if certify:
+            kept_idx = {name: i for i, name in enumerate(noise.kept)}
+            m_sel = matrix[:, [kept_idx[name] for name in selected_events]]
 
         metrics: Dict[str, MetricDefinition] = {}
         rounded: Dict[str, MetricDefinition] = {}
         presets = PresetTable(architecture=self.node.name)
         for signature in self.signatures:
             definition = compose_metric(
-                signature.name, x_hat, selected_events, signature
+                signature.name,
+                x_hat,
+                selected_events,
+                signature,
+                rcond=config.lstsq_rcond,
+                guard=config.guard,
             )
             if degraded:
                 # Composed over a fault-degraded X-hat: flag the fitness.
                 definition = replace(definition, degraded=True)
+            if certify:
+                fired = qrcp_guards + (
+                    definition.health.guards_fired
+                    if definition.health is not None
+                    else ()
+                )
+                trust = certify_metric(
+                    signature.name,
+                    self.basis.matrix,
+                    m_sel,
+                    signature.coords,
+                    selected_events,
+                    definition.coefficients,
+                    definition.error,
+                    config=config.guard,
+                    rcond=config.lstsq_rcond,
+                    degraded=degraded,
+                    guards_fired=fired,
+                )
+                definition = replace(definition, trust=trust)
             metrics[signature.name] = definition
             snapped = round_coefficients(
                 definition,
@@ -502,6 +576,40 @@ class AnalysisPipeline:
                 # Presets carry the snapped coefficients (Section VI-D):
                 # consumers want 1*EVENT, not 1.00001*EVENT - 3e-16*OTHER.
                 presets.define(snapped.as_preset())
+
+        if config.strict and config.guard.enabled:
+            problems: List[str] = []
+            if qrcp.health is not None and qrcp.health.guards_fired:
+                suspects = [
+                    selected_events[i]
+                    if i < len(selected_events)
+                    else f"pivot {i}"
+                    for i in qrcp.health.suspect_columns
+                ]
+                problems.append(
+                    "the QRCP selection needed guarded intervention ("
+                    + " -> ".join(qrcp.health.guards_fired)
+                    + "); suspect columns: "
+                    + (", ".join(suspects) if suspects else "unidentified")
+                )
+            rejected = {
+                name: m.trust
+                for name, m in metrics.items()
+                if m.trust is not None and m.trust.level == "reject"
+            }
+            if rejected:
+                details = "; ".join(
+                    f"{name} (suspect events: "
+                    f"{', '.join(trust.suspect_events) or 'unidentified'}; "
+                    f"{trust.reasons[0] if trust.reasons else 'no reason recorded'})"
+                    for name, trust in rejected.items()
+                )
+                problems.append(
+                    f"{len(rejected)} metric definition(s) rejected by "
+                    f"certification — {details}"
+                )
+            if problems:
+                raise GuardViolation("strict mode: " + " | ".join(problems))
 
         return PipelineResult(
             domain=self.basis.name,

@@ -21,6 +21,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.pipeline import AnalysisPipeline, PipelineConfig
+from repro.events.registry import EventRegistry
+from repro.guard.validate import require_nonempty
 from repro.hardware.systems import MachineNode
 
 __all__ = ["StabilityReport", "selection_stability"]
@@ -72,6 +74,7 @@ def selection_stability(
     domain: str,
     seeds: Sequence[int],
     config: Optional[PipelineConfig] = None,
+    events: Optional[EventRegistry] = None,
 ) -> StabilityReport:
     """Rerun the domain's pipeline per seed and aggregate the selections.
 
@@ -82,14 +85,20 @@ def selection_stability(
     plain argmax would misattribute multi-dimension events such as
     ``BR_INST_RETIRED:ALL_BRANCHES``, whose novel contribution after COND
     is the unconditional dimension.)
+
+    ``events`` restricts each pipeline to a fixed registry subset — e.g.
+    to probe stability when fewer events than basis dimensions survive
+    (a rank-deficient selection, where the report must still be coherent
+    rather than crash or misattribute).
     """
-    if not seeds:
-        raise ValueError("need at least one seed")
+    require_nonempty(seeds, "seeds", "selection_stability")
     selections: Dict[int, Tuple[str, ...]] = {}
     carriers: Dict[str, Counter] = {}
     for seed in seeds:
         node = node_factory(seed)
-        pipeline = AnalysisPipeline.for_domain(domain, node, config=config)
+        pipeline = AnalysisPipeline.for_domain(
+            domain, node, config=config, events=events
+        )
         result = pipeline.run()
         selections[seed] = tuple(result.selected_events)
         basis = result.representation.basis

@@ -100,6 +100,8 @@ class SweepTask:
     faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
+        from repro.guard.validate import require_int
+
         if self.system not in SWEEP_SYSTEMS:
             raise ValueError(
                 f"unknown system {self.system!r}; expected one of "
@@ -110,6 +112,9 @@ class SweepTask:
                 f"domain {self.domain!r} is not measurable on "
                 f"{self.system!r} (has: {SYSTEM_DOMAINS[self.system]})"
             )
+        require_int(
+            self.seed, "seed", f"SweepTask[{self.system}:{self.domain}]", minimum=0
+        )
 
     @property
     def label(self) -> str:

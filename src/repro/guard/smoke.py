@@ -1,0 +1,252 @@
+"""Deliberately ill-conditioned catalog: the guard layer's end-to-end smoke.
+
+A healthy catalog never trips the sentinels (that is the bit-identical
+contract), so the guard code paths need their own exercise regime.  This
+module forges one: take a clean branch-domain measurement, append
+near-duplicate copies of events that the QRCP stage will select
+(``col' = (1 + eps) * col_a + eps * col_b`` with ``eps`` far above the
+selection cutoff but far below anything a conditioning-free analysis
+would notice), and re-run the pipeline with a tiny ``alpha`` so the
+forged columns survive selection.  The resulting X-hat contains
+near-collinear columns: the condition sentinel must fire, the fallback
+ladder must engage, and certification must refuse to stamp the run
+``certified`` — while the pipeline itself must not crash.
+
+The CI ``guard-smoke`` job runs :func:`run_smoke` and fails unless all
+of that happened.  With ``strict=True`` the same scenario instead
+expects the pipeline to raise :class:`~repro.guard.GuardViolation`
+naming the forged events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.guard.health import GuardConfig
+
+__all__ = ["SmokeOutcome", "forge_near_duplicates", "run_smoke"]
+
+#: Relative perturbation of the forged columns: large enough to clear the
+#: selection cutoff (beta ~ 1e-9 at the smoke alpha), small enough that
+#: the forged X-hat is catastrophically conditioned.
+FORGE_EPS = 1e-8
+
+#: Pipeline thresholds for the smoke run: the tiny alpha lowers the QRCP
+#: beta cutoff so the near-duplicates are selected instead of filtered.
+SMOKE_ALPHA = 1e-10
+
+#: Guard thresholds for the smoke run (tighter than the defaults so the
+#: scenario is decisively past them, not balancing on the boundary).
+SMOKE_GUARD = GuardConfig(condition_threshold=1e6, rank_gap_threshold=1e5)
+
+
+@dataclass
+class SmokeOutcome:
+    """What the ill-conditioned scenario produced, and the verdict.
+
+    ``passed`` means: at least one sentinel fired, the run finished (or,
+    in strict mode, raised :class:`~repro.guard.GuardViolation` naming a
+    forged event), and no metric touching a forged event was stamped
+    ``certified``.
+    """
+
+    forged_events: Tuple[str, ...]
+    sentinels_fired: Tuple[str, ...] = ()
+    trust_levels: Dict[str, str] = field(default_factory=dict)
+    condition_estimate: float = 0.0
+    strict_error: Optional[str] = None
+    result: Optional[object] = None  # PipelineResult when the run finished
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = [
+            f"forged events: {', '.join(self.forged_events)}",
+            f"selection condition estimate: {self.condition_estimate:.2e}",
+            "sentinels fired: "
+            + (" -> ".join(self.sentinels_fired) if self.sentinels_fired else "none"),
+        ]
+        if self.strict_error is not None:
+            lines.append(f"strict mode raised: {self.strict_error}")
+        for name, level in sorted(self.trust_levels.items()):
+            lines.append(f"  {name:<40} {level}")
+        lines.append("verdict: " + ("PASS" if self.passed else "FAIL"))
+        lines.extend(f"  FAIL: {f}" for f in self.failures)
+        return "\n".join(lines)
+
+
+def forge_near_duplicates(
+    measurement,
+    donors: List[str],
+    pattern: np.ndarray,
+    eps: float = FORGE_EPS,
+):
+    """Append a near-duplicate column per donor to a measurement set.
+
+    Each forged event ``SYNTH_NEAR_DUP_<i>`` reads
+    ``(1 + eps) * donor_i + eps * pattern`` where ``pattern`` is a
+    per-kernel-row vector representable in the expectation basis but
+    outside the span of what the clean selection measures.  The result is
+    exactly the shape of a redundant hardware counter a catalog vendor
+    aliased under a new name: representable, noise-free in the exact
+    domains, *almost* — but not exactly — dependent on existing events,
+    so the selection stage keeps it and inherits its conditioning.
+
+    An exact linear combination of donors would be useless here: its
+    representation falls exactly in the donors' span, the QRCP trailing
+    residual is rounding-level, and the beta cutoff (correctly) filters
+    it.  The out-of-span ``eps * pattern`` component is what makes the
+    forged column selectable yet catastrophically collinear.
+    """
+    if not donors:
+        raise ValueError("need at least one donor event to forge duplicates")
+    data = measurement.data
+    pattern = np.asarray(pattern, dtype=np.float64)
+    if pattern.shape != (data.shape[2],):
+        raise ValueError(
+            f"pattern must have one entry per kernel row "
+            f"({data.shape[2]}), got shape {pattern.shape}"
+        )
+    names = list(measurement.event_names)
+    forged_cols = []
+    forged_names = []
+    for i, donor in enumerate(donors):
+        a = data[..., measurement.event_index(donor)]
+        forged_cols.append((1.0 + eps) * a + eps * pattern[None, None, :])
+        forged_names.append(f"SYNTH_NEAR_DUP_{i}")
+    new_data = np.concatenate(
+        [data] + [c[..., None] for c in forged_cols], axis=-1
+    )
+    new_set = type(measurement)(
+        benchmark=measurement.benchmark,
+        row_labels=list(measurement.row_labels),
+        event_names=names + forged_names,
+        data=new_data,
+        pmu_runs=measurement.pmu_runs,
+    )
+    return new_set, tuple(forged_names)
+
+
+def _unspanned_pattern(basis_matrix: np.ndarray, selected_x: np.ndarray) -> np.ndarray:
+    """A kernel-row vector representable in the basis but orthogonal (in
+    representation space) to everything the clean selection spans.
+
+    When the catalog measures every basis dimension there is no such
+    direction; fall back to the least-dominant selected direction so the
+    forged column is still nearly — not exactly — dependent.
+    """
+    n_dims = basis_matrix.shape[1]
+    q, _ = np.linalg.qr(selected_x, mode="complete")
+    rank = min(selected_x.shape[1], n_dims)
+    if rank < n_dims:
+        direction = q[:, rank]
+    else:
+        direction = q[:, n_dims - 1]
+    return basis_matrix @ direction
+
+
+def run_smoke(seed: int = 2024, strict: bool = False) -> SmokeOutcome:
+    """Run the ill-conditioned branch catalog through the guarded pipeline.
+
+    Returns a :class:`SmokeOutcome` whose ``failures`` list is empty iff
+    the guard layer behaved: sentinel(s) fired, the fallback ladder was
+    recorded, nothing crashed, and no forged-column metric earned
+    ``certified`` (the run as a whole degrades to caution/reject).
+    """
+    from repro.core.pipeline import AnalysisPipeline
+    from repro.guard import GuardViolation
+    from repro.hardware.systems import aurora_node
+
+    # Clean run: supplies the measurement to forge, the selection the
+    # donors come from, and the basis geometry for the out-of-span pattern.
+    clean_pipeline = AnalysisPipeline.for_domain("branch", aurora_node(seed=seed))
+    clean = clean_pipeline.run()
+    donors = clean.selected_events[:2]
+    pattern = _unspanned_pattern(clean_pipeline.basis.matrix, clean.x_hat)
+    forged_set, forged_names = forge_near_duplicates(
+        clean.measurement, donors, pattern
+    )
+
+    config = replace(
+        clean.config,
+        alpha=SMOKE_ALPHA,
+        guard=SMOKE_GUARD,
+        strict=strict,
+    )
+    pipeline = AnalysisPipeline.for_domain(
+        "branch", aurora_node(seed=seed), config=config
+    )
+
+    outcome = SmokeOutcome(forged_events=forged_names)
+    try:
+        result = pipeline.run(measurement=forged_set)
+    except GuardViolation as exc:
+        outcome.strict_error = str(exc)
+        if not strict:
+            outcome.failures.append(
+                f"pipeline raised GuardViolation without strict mode: {exc}"
+            )
+        elif not any(name in str(exc) for name in forged_names):
+            outcome.failures.append(
+                "strict-mode error does not name any forged event: "
+                f"{exc}"
+            )
+        return outcome
+    except Exception as exc:  # noqa: BLE001 — a crash is the one hard fail
+        outcome.failures.append(
+            f"pipeline crashed on the ill-conditioned catalog: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        return outcome
+
+    outcome.result = result
+    fired: List[str] = []
+    if result.qrcp.health is not None:
+        fired.extend(result.qrcp.health.guards_fired)
+        outcome.condition_estimate = result.qrcp.health.condition_estimate
+    for metric in result.metrics.values():
+        if metric.health is not None:
+            fired.extend(
+                g for g in metric.health.guards_fired if g not in fired
+            )
+    outcome.sentinels_fired = tuple(fired)
+    outcome.trust_levels = {
+        name: (m.trust.level if m.trust is not None else "unstamped")
+        for name, m in result.metrics.items()
+    }
+
+    if not fired:
+        outcome.failures.append(
+            "no conditioning sentinel fired on a selection forged to be "
+            "ill-conditioned"
+        )
+    touched = [
+        name
+        for name, m in result.metrics.items()
+        if any(
+            e in forged_names and abs(c) > 1e-9
+            for e, c in zip(m.event_names, m.coefficients)
+        )
+    ]
+    for name in touched:
+        if outcome.trust_levels.get(name) == "certified":
+            outcome.failures.append(
+                f"metric {name!r} leans on a forged near-duplicate column "
+                "but was stamped certified"
+            )
+    levels = set(outcome.trust_levels.values())
+    if levels <= {"certified"}:
+        outcome.failures.append(
+            "every metric was stamped certified; the run did not degrade"
+        )
+    if strict:
+        outcome.failures.append(
+            "strict mode did not raise GuardViolation on the forged catalog"
+        )
+    return outcome

@@ -230,8 +230,11 @@ class MeasurementCache:
     def get(self, key: str) -> Optional[MeasurementSet]:
         """The cached measurement for ``key``, or ``None`` on a miss.
 
-        A disk entry is only a hit after its checksums verify and it
-        decodes; a corrupt entry is quarantined and reported as a miss.
+        A disk entry is only a hit after its checksums verify, it
+        decodes, and its content passes the load-time boundary
+        validation (finite data, non-empty labels — see
+        :mod:`repro.guard.validate`); a corrupt entry is quarantined and
+        reported as a miss.
         """
         cached = self._memory.get(key)
         if cached is not None:

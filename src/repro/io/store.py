@@ -14,6 +14,7 @@ from typing import Dict, Union
 import numpy as np
 
 from repro.cat.measurement import MeasurementSet
+from repro.guard.validate import require_finite, require_nonempty
 from repro.papi.presets import PresetMetric, PresetTable
 
 __all__ = [
@@ -66,6 +67,13 @@ def load_measurements(path: Union[str, Path]) -> MeasurementSet:
         raise ValueError(
             f"snapshot corrupt: data shape {data.shape} vs metadata {meta['shape']}"
         )
+    # Deserialization boundary: a truncated npz or a hand-edited sidecar
+    # must fail here with the reason, not deep inside a least-squares
+    # solve three stages later.
+    context = f"measurement snapshot {npz_path.name}"
+    require_nonempty(meta["event_names"], "event_names", context)
+    require_nonempty(meta["row_labels"], "row_labels", context)
+    require_finite(data, "data", context)
     return MeasurementSet(
         benchmark=meta["benchmark"],
         row_labels=meta["row_labels"],
@@ -99,12 +107,26 @@ def load_presets(path: Union[str, Path]) -> PresetTable:
     """Load a preset table saved by :func:`save_presets`."""
     payload = json.loads(Path(path).read_text())
     table = PresetTable(architecture=payload["architecture"])
+    context = f"preset file {Path(path).name}"
     for entry in payload["presets"]:
+        terms = dict(entry["terms"])
+        if terms:
+            require_finite(
+                np.array(list(terms.values())),
+                f"terms of preset {entry['name']!r}",
+                context,
+            )
+        fitness = entry["fitness"]
+        if not np.isfinite(fitness) or fitness < 0:
+            raise ValueError(
+                f"{context}: preset {entry['name']!r} has invalid fitness "
+                f"{fitness!r} (must be finite and >= 0)"
+            )
         table.define(
             PresetMetric(
                 name=entry["name"],
-                terms=entry["terms"],
-                fitness=entry["fitness"],
+                terms=terms,
+                fitness=fitness,
                 description=entry.get("description", ""),
             )
         )

@@ -9,16 +9,33 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Sequence, Union
 
-__all__ = ["render_markdown_table", "write_csv", "write_markdown"]
+import numpy as np
+
+__all__ = ["format_float", "render_markdown_table", "write_csv", "write_markdown"]
+
+
+def format_float(value, signed: bool = False) -> str:
+    """The one float formatter for human-facing tables and digests.
+
+    Every report table, sweep digest and CLI float goes through here, so
+    the textual artifacts are stable across numpy versions: the value is
+    forced to a Python float first (numpy scalar ``repr`` changed across
+    releases), then rendered with fixed rules — ``%.6g`` in the humane
+    magnitude range, ``%.3e`` outside it, a bare ``0`` for zero.
+    ``signed`` prepends ``+`` to non-negative values (coefficient lists).
+    """
+    value = float(value)
+    if value == 0:
+        return "+0" if signed else "0"
+    sign = "+" if signed and value > 0 else ""
+    if 1e-3 <= abs(value) < 1e6:
+        return f"{sign}{value:.6g}"
+    return f"{sign}{value:.3e}"
 
 
 def _stringify(value) -> str:
-    if isinstance(value, float):
-        if value == 0:
-            return "0"
-        if abs(value) >= 1e-3 and abs(value) < 1e6:
-            return f"{value:.6g}"
-        return f"{value:.3e}"
+    if isinstance(value, (float, np.floating)):
+        return format_float(value)
     return str(value)
 
 

@@ -28,7 +28,7 @@ from repro.linalg.householder import (
     householder_vector,
     qr_decompose,
 )
-from repro.linalg.lstsq import LstsqResult, lstsq_qr
+from repro.linalg.lstsq import LstsqResult, default_rcond, lstsq_qr
 from repro.linalg.norms import backward_error, frobenius_norm, spectral_norm
 from repro.linalg.triangular import solve_lower, solve_upper
 
@@ -37,6 +37,7 @@ __all__ = [
     "LstsqResult",
     "apply_householder",
     "backward_error",
+    "default_rcond",
     "frobenius_norm",
     "householder_vector",
     "lstsq_qr",

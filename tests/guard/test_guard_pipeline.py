@@ -1,0 +1,159 @@
+"""The guard layer through the full pipeline: bit-identical on healthy
+data, certifying every default metric, validating at the boundary, and
+coherent under rank-deficient event registries."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import AnalysisPipeline, PipelineConfig
+from repro.core.report import render_report
+from repro.core.stability import selection_stability
+from repro.guard import GuardConfig, ValidationError
+from repro.hardware.systems import aurora_node
+
+SEED = 321
+
+
+@pytest.fixture(scope="module")
+def guarded_result():
+    return AnalysisPipeline.for_domain("branch", aurora_node(seed=SEED)).run()
+
+
+@pytest.fixture(scope="module")
+def unguarded_result():
+    config = PipelineConfig(guard=GuardConfig(enabled=False))
+    return AnalysisPipeline.for_domain(
+        "branch", aurora_node(seed=SEED), config=config
+    ).run()
+
+
+class TestBitIdenticalContract:
+    """On a healthy catalog the guard is pure observation."""
+
+    def test_selection_identical(self, guarded_result, unguarded_result):
+        assert guarded_result.selected_events == unguarded_result.selected_events
+        np.testing.assert_array_equal(
+            guarded_result.x_hat, unguarded_result.x_hat
+        )
+
+    def test_metrics_identical(self, guarded_result, unguarded_result):
+        assert set(guarded_result.metrics) == set(unguarded_result.metrics)
+        for name, metric in guarded_result.metrics.items():
+            other = unguarded_result.metrics[name]
+            np.testing.assert_array_equal(metric.coefficients, other.coefficients)
+            assert metric.error == other.error
+
+    def test_no_guard_fired(self, guarded_result):
+        health = guarded_result.qrcp.health
+        assert health is not None
+        assert health.guards_fired == ()
+        assert health.suspect_columns == ()
+
+    def test_unguarded_run_carries_no_stamps(self, unguarded_result):
+        assert unguarded_result.qrcp.health is None
+        assert all(
+            m.trust is None for m in unguarded_result.metrics.values()
+        )
+
+
+class TestCertification:
+    def test_all_default_metrics_certified(self, guarded_result):
+        for name, metric in guarded_result.metrics.items():
+            assert metric.trust is not None, f"{name} has no trust stamp"
+            assert metric.trust.level == "certified", (
+                f"{name}: {metric.trust.describe()}"
+            )
+
+    def test_summary_surfaces_health_and_trust(self, guarded_result):
+        text = guarded_result.summary()
+        assert "numerical health:" in text
+        assert "trust=certified" in text
+
+    def test_report_has_health_section(self, guarded_result):
+        text = render_report(guarded_result, include_figures=False)
+        assert "## Numerical health & trust" in text
+        assert "certified" in text
+
+    def test_strict_mode_is_silent_on_clean_data(self):
+        config = PipelineConfig(strict=True)
+        result = AnalysisPipeline.for_domain(
+            "branch", aurora_node(seed=SEED), config=config
+        ).run()
+        assert all(
+            m.trust is not None and m.trust.level == "certified"
+            for m in result.metrics.values()
+        )
+
+
+class TestBoundaryValidation:
+    def test_nan_measurement_rejected_with_coordinates(self, guarded_result):
+        clean = guarded_result.measurement
+        data = clean.data.copy()
+        data[0, 0, 1, 2] = np.nan
+        bad = type(clean)(
+            benchmark=clean.benchmark,
+            row_labels=list(clean.row_labels),
+            event_names=list(clean.event_names),
+            data=data,
+            pmu_runs=clean.pmu_runs,
+        )
+        pipeline = AnalysisPipeline.for_domain("branch", aurora_node(seed=SEED))
+        with pytest.raises(ValidationError, match=r"\(0, 0, 1, 2\)"):
+            pipeline.run(measurement=bad)
+
+    def test_config_rejects_bad_rcond(self):
+        with pytest.raises(ValueError, match="lstsq_rcond"):
+            PipelineConfig(lstsq_rcond=-1e-12)
+
+    def test_config_rejects_non_guardconfig(self):
+        with pytest.raises(ValueError, match="GuardConfig"):
+            PipelineConfig(guard="yes please")
+
+    def test_rcond_threads_through(self, guarded_result):
+        # A sanity check that the knob reaches the solver: an absurd
+        # rcond truncates every direction, so every composition collapses
+        # to the zero solution (the branch X-hat R-diagonal is exactly
+        # all-ones, so any rcond < 1 truncates nothing).
+        config = PipelineConfig(lstsq_rcond=1.5)
+        result = AnalysisPipeline.for_domain(
+            "branch", aurora_node(seed=SEED), config=config
+        ).run()
+        assert all(
+            np.allclose(m.coefficients, 0.0) for m in result.metrics.values()
+        )
+        assert any(
+            not np.allclose(m.coefficients, 0.0)
+            for m in guarded_result.metrics.values()
+        )
+
+
+class TestRankDeficientStability:
+    """n_events < n_dims: the harness must stay coherent, not crash."""
+
+    def test_two_event_registry(self):
+        node = aurora_node(seed=SEED)
+        keep = {"BR_INST_RETIRED:COND", "BR_MISP_RETIRED"}
+        registry = node.events.select(predicate=lambda e: e.full_name in keep)
+        assert len(list(registry)) == 2
+        report = selection_stability(
+            lambda seed: aurora_node(seed=seed),
+            "branch",
+            seeds=[1, 2, 3],
+            events=registry,
+        )
+        assert report.is_deterministic
+        for sel in report.selections.values():
+            assert 0 < len(sel) <= 2
+            assert set(sel) <= keep
+        # Each selected event is attributed to exactly one dimension and
+        # the summary renders without error.
+        assert sum(
+            sum(c.values()) for c in report.dimension_carriers.values()
+        ) == sum(len(s) for s in report.selections.values())
+        assert "branch" in report.summary()
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValidationError, match="seeds"):
+            selection_stability(
+                lambda seed: aurora_node(seed=seed), "branch", seeds=[]
+            )

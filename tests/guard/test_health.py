@@ -1,0 +1,115 @@
+"""Conditioning sentinels: the estimates are tight, deterministic, cheap."""
+
+import numpy as np
+import pytest
+
+from repro.guard import GuardConfig, NumericalHealth
+from repro.guard.health import estimate_condition, triangular_health
+
+
+class TestEstimateCondition:
+    def test_diagonal_matrix_is_exact(self):
+        r = np.diag([10.0, 1.0, 0.1])
+        assert estimate_condition(r) == pytest.approx(100.0)
+
+    def test_refinement_tightens_loose_diagonal_bound(self):
+        # cond_2([[1, 100], [0, 1]]) ~ 1e4 but the diagonal ratio is 1:
+        # the power-iteration sweeps must recover the hidden conditioning.
+        r = np.array([[1.0, 100.0], [0.0, 1.0]])
+        true = np.linalg.cond(r)
+        base = estimate_condition(r, refine_iterations=0)
+        refined = estimate_condition(r, refine_iterations=6)
+        assert base == pytest.approx(1.0)
+        assert refined == pytest.approx(true, rel=0.05)
+
+    def test_never_exceeds_reality_by_much_on_random_triangles(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            r = np.triu(rng.standard_normal((5, 5)))
+            est = estimate_condition(r, refine_iterations=8)
+            true = np.linalg.cond(r)
+            # A lower-bound-style estimate: within the true condition
+            # number (small slack for the estimate's own rounding) and
+            # not pathologically below it after refinement.
+            assert est <= true * 1.01
+            assert est >= true * 0.1
+
+    def test_zero_diagonal_is_infinite(self):
+        r = np.array([[1.0, 2.0], [0.0, 0.0]])
+        assert estimate_condition(r) == np.inf
+
+    def test_empty_factor(self):
+        assert estimate_condition(np.zeros((0, 0))) == 1.0
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(3)
+        r = np.triu(rng.standard_normal((6, 6)))
+        assert estimate_condition(r) == estimate_condition(r)
+
+
+class TestTriangularHealth:
+    def test_rank_gap_names_the_tail_columns(self):
+        r = np.diag([1.0, 0.5, 1e-9])
+        health = triangular_health(r)
+        assert health.rank_gap == pytest.approx(0.5 / 1e-9)
+        assert health.suspect_columns == (2,)
+
+    def test_healthy_factor_has_no_suspects(self):
+        r = np.diag([2.0, 1.0, 0.5])
+        health = triangular_health(r)
+        assert health.suspect_columns == ()
+        assert health.guards_fired == ()
+
+    def test_pivot_growth(self):
+        original = np.array([[1.0, 0.0], [0.0, 1.0]])
+        r = np.array([[8.0, 0.0], [0.0, 1.0]])
+        health = triangular_health(r, original=original)
+        assert health.pivot_growth == pytest.approx(8.0)
+
+    def test_empty(self):
+        health = triangular_health(np.zeros((0, 0)))
+        assert health.condition_estimate == 1.0
+        assert health.rank_gap == 1.0
+
+
+class TestOkThresholds:
+    def test_below_thresholds(self):
+        config = GuardConfig(condition_threshold=1e8, rank_gap_threshold=1e6)
+        assert NumericalHealth(condition_estimate=1e7, rank_gap=1e5).ok(config)
+
+    def test_condition_crossing(self):
+        config = GuardConfig(condition_threshold=1e8)
+        assert not NumericalHealth(condition_estimate=1e9).ok(config)
+
+    def test_rank_gap_crossing(self):
+        config = GuardConfig(rank_gap_threshold=1e6)
+        assert not NumericalHealth(
+            condition_estimate=10.0, rank_gap=1e7
+        ).ok(config)
+
+    def test_describe_mentions_guards(self):
+        health = NumericalHealth(
+            condition_estimate=1e9,
+            guards_fired=("column-scaling", "iterative-refinement-float64"),
+        )
+        text = health.describe()
+        assert "cond~1.00e+09" in text
+        assert "column-scaling -> iterative-refinement-float64" in text
+
+
+class TestGuardConfigValidation:
+    def test_rejects_unity_thresholds(self):
+        with pytest.raises(ValueError, match="thresholds must be > 1"):
+            GuardConfig(condition_threshold=1.0)
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            GuardConfig(refine_iterations=-1)
+
+    def test_rejects_inverted_certify_tols(self):
+        with pytest.raises(ValueError, match="certify_coeff_tol"):
+            GuardConfig(certify_coeff_tol=0.9, reject_coeff_tol=0.5)
+
+    def test_rejects_single_holdout(self):
+        with pytest.raises(ValueError, match="certify_holdouts"):
+            GuardConfig(certify_holdouts=1)

@@ -1,0 +1,95 @@
+"""The ill-conditioned smoke scenario: the guard's end-to-end exercise."""
+
+import numpy as np
+import pytest
+
+from repro.guard import GuardConfig, run_smoke
+from repro.guard.smoke import SMOKE_GUARD, forge_near_duplicates
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_smoke(seed=2024)
+
+
+@pytest.fixture(scope="module")
+def strict_outcome():
+    return run_smoke(seed=2024, strict=True)
+
+
+class TestSmokeScenario:
+    def test_passes(self, outcome):
+        assert outcome.passed, outcome.describe()
+
+    def test_sentinel_fired(self, outcome):
+        assert outcome.sentinels_fired
+        assert "qrcp-column-scaled-repivot" in outcome.sentinels_fired
+
+    def test_condition_past_threshold(self, outcome):
+        assert outcome.condition_estimate > SMOKE_GUARD.condition_threshold
+
+    def test_run_degraded_not_crashed(self, outcome):
+        # The pipeline finished (no crash) and no metric touching forged
+        # columns kept a certified stamp.
+        assert outcome.result is not None
+        assert set(outcome.trust_levels.values()) != {"certified"}
+
+    def test_describe_names_forged_events(self, outcome):
+        text = outcome.describe()
+        assert "SYNTH_NEAR_DUP_0" in text
+        assert "PASS" in text
+
+
+class TestStrictSmoke:
+    def test_passes(self, strict_outcome):
+        assert strict_outcome.passed, strict_outcome.describe()
+
+    def test_raises_naming_forged_event(self, strict_outcome):
+        assert strict_outcome.strict_error is not None
+        assert any(
+            name in strict_outcome.strict_error
+            for name in strict_outcome.forged_events
+        )
+        assert "strict mode" in strict_outcome.strict_error
+
+
+class TestForgery:
+    def test_forged_columns_are_near_duplicates(self, outcome):
+        clean = outcome.result.measurement
+        forged_idx = [
+            i
+            for i, name in enumerate(clean.event_names)
+            if name.startswith("SYNTH_NEAR_DUP_")
+        ]
+        assert len(forged_idx) == len(outcome.forged_events)
+        # Near, not exact, duplicates: each forged column sits a tiny but
+        # nonzero relative distance from its (clean) donor column.
+        clean_idx = [
+            j for j in range(clean.data.shape[-1]) if j not in forged_idx
+        ]
+        for i in forged_idx:
+            f = clean.data[..., i]
+            rel = min(
+                np.abs(f - clean.data[..., j]).max()
+                / max(np.abs(clean.data[..., j]).max(), 1.0)
+                for j in clean_idx
+            )
+            assert 0.0 < rel < 1e-4
+
+    def test_forge_rejects_empty_donors(self, outcome):
+        with pytest.raises(ValueError, match="donor"):
+            forge_near_duplicates(
+                outcome.result.measurement, [], np.zeros(1)
+            )
+
+    def test_forge_rejects_wrong_pattern_shape(self, outcome):
+        m = outcome.result.measurement
+        with pytest.raises(ValueError, match="pattern"):
+            forge_near_duplicates(
+                m, [m.event_names[0]], np.zeros(m.data.shape[2] + 1)
+            )
+
+    def test_smoke_guard_is_tighter_than_default(self):
+        default = GuardConfig()
+        assert SMOKE_GUARD.condition_threshold < default.condition_threshold
+        assert SMOKE_GUARD.rank_gap_threshold < default.rank_gap_threshold
