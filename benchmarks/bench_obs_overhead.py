@@ -1,0 +1,135 @@
+"""EXP-OBS: cost of the observability hooks, disabled and enabled.
+
+The tracing contract is "off-by-default-cheap": every hook in the hot
+path is a ``get_tracer()`` lookup that lands on the null tracer, so a
+run outside an ``obs.tracing`` scope must pay only that lookup.  This
+bench puts numbers on the contract:
+
+* microbenchmark the disabled primitives (``get_tracer``, null span
+  enter/exit, null ``incr``) and bound the total hook cost of a
+  ``BenchmarkRunner.run`` as hooks-per-run x cost-per-hook — asserted
+  **< 2%** of the measured hot-path time;
+* clock the runner hot path and the full branch pipeline with tracing
+  disabled vs enabled, so the *enabled* cost (span records, counter
+  dict updates, snapshotting the trace) stays visible in review.
+
+A results table (``results/obs_overhead.md``) records the measurements
+next to the guard-overhead table this layout mirrors.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.cat import BenchmarkRunner, BranchBenchmark
+from repro.core import AnalysisPipeline
+from repro.hardware.systems import aurora_node
+from repro.io.tables import write_markdown
+from repro.obs import NULL_TRACER, get_tracer
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _per_call(fn, calls=100_000, repeats=3):
+    """Best-of per-call cost of a micro-operation, in seconds."""
+
+    def batch():
+        for _ in range(calls):
+            fn()
+
+    return _best_of(batch, repeats) / calls
+
+
+def _disabled_hook_cost():
+    """Seconds per hook when no tracer is active (the default)."""
+
+    def hook():
+        tracer = get_tracer()
+        with tracer.span("x"):
+            pass
+        tracer.incr("c")
+
+    return _per_call(hook)
+
+
+def test_disabled_hooks_hit_null_tracer():
+    assert get_tracer() is NULL_TRACER
+    with obs.tracing() as tracer:
+        assert get_tracer() is tracer
+    assert get_tracer() is NULL_TRACER
+
+
+def test_runner_disabled_overhead_under_2_percent(results_dir):
+    node = aurora_node(seed=2024)
+    bench = BranchBenchmark()
+    runner = BenchmarkRunner(node, repetitions=5)
+    registry = node.events
+
+    run_disabled = _best_of(lambda: runner.run(bench, events=registry))
+
+    def run_traced():
+        with obs.tracing(seed=2024):
+            runner.run(bench, events=registry)
+
+    run_enabled = _best_of(run_traced)
+
+    # The runner's own hooks: one runner-run span plus three incrs; the
+    # per-hook microbenchmark (span + incr) upper-bounds each of them.
+    hooks_per_run = 4
+    hook_cost = _disabled_hook_cost()
+    bound = hooks_per_run * hook_cost
+    overhead = bound / run_disabled
+    assert overhead < 0.02, (
+        f"disabled tracing hooks cost {bound * 1e6:.1f}us "
+        f"({overhead:.2%}) of the {run_disabled * 1e3:.1f}ms hot path"
+    )
+
+    # The whole pipeline, both ways, for the table.
+    pipeline = AnalysisPipeline.for_domain("branch", node)
+    pipe_disabled = _best_of(lambda: pipeline.run(), repeats=3)
+
+    def pipe_traced():
+        with obs.tracing(seed=2024):
+            pipeline.run()
+
+    pipe_enabled = _best_of(pipe_traced, repeats=3)
+
+    write_markdown(
+        results_dir / "obs_overhead.md",
+        headers=["path", "disabled (ms)", "enabled (ms)", "enabled/disabled"],
+        rows=[
+            [
+                "runner.run (branch, full catalog)",
+                f"{run_disabled * 1e3:.2f}",
+                f"{run_enabled * 1e3:.2f}",
+                f"{run_enabled / run_disabled:.3f}",
+            ],
+            [
+                "pipeline.run (branch, end to end)",
+                f"{pipe_disabled * 1e3:.2f}",
+                f"{pipe_enabled * 1e3:.2f}",
+                f"{pipe_enabled / pipe_disabled:.3f}",
+            ],
+            [
+                "disabled hook bound (runner)",
+                f"{bound * 1e3:.4f}",
+                "-",
+                f"{overhead:.4%} of hot path",
+            ],
+        ],
+        title=(
+            "Observability overhead (best of 5; disabled bound = "
+            f"{hooks_per_run} hooks x {hook_cost * 1e9:.0f}ns/hook)"
+        ),
+    )
+
+    # Enabled tracing stays cheap too: well under 2x on the hot path.
+    assert run_enabled / run_disabled < 2.0

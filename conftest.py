@@ -1,0 +1,82 @@
+"""Shared pytest fixtures for both suites (``tests/`` and ``benchmarks/``).
+
+This root conftest is the single fixture source: the test suite and the
+benchmark harness share the same session-scoped pipeline results, so a
+full pipeline for a domain runs at most once per session no matter how
+many modules assert on it.  Artifacts (reproduced tables, figure series,
+ASCII plots) are written under ``results/``.
+
+It also registers the golden-suite regeneration flag::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_e2e.py --update-golden
+
+which rewrites the committed fixtures under ``tests/golden/`` instead of
+comparing against them (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import AnalysisPipeline
+from repro.hardware.systems import aurora_node, frontier_cpu_node, frontier_node
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden e2e fixtures under tests/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def aurora():
+    return aurora_node()
+
+
+@pytest.fixture(scope="session")
+def frontier():
+    return frontier_node()
+
+
+@pytest.fixture(scope="session")
+def frontier_cpu():
+    return frontier_cpu_node()
+
+
+@pytest.fixture(scope="session")
+def branch_result(aurora):
+    return AnalysisPipeline.for_domain("branch", aurora).run()
+
+
+@pytest.fixture(scope="session")
+def cpu_flops_result(aurora):
+    return AnalysisPipeline.for_domain("cpu_flops", aurora).run()
+
+
+@pytest.fixture(scope="session")
+def gpu_flops_result(frontier):
+    return AnalysisPipeline.for_domain("gpu_flops", frontier).run()
+
+
+@pytest.fixture(scope="session")
+def dcache_result(aurora):
+    return AnalysisPipeline.for_domain("dcache", aurora).run()

@@ -9,8 +9,12 @@ events and metric definitions as the paper's hand-picked constants —
 for the clean branch domain *and* the noisy data-cache domain.
 
 Run:  python examples/threshold_autotune.py
+
+Set ``REPRO_EXAMPLE_FAST=1`` to auto-tune the branch domain only (used
+by the examples smoke test in CI).
 """
 
+import os
 from dataclasses import replace
 
 from repro.core import AnalysisPipeline, select_alpha, select_tau
@@ -21,7 +25,10 @@ from repro.hardware import aurora_node
 def main() -> None:
     node = aurora_node(seed=2024)
 
-    for domain in ("branch", "dcache"):
+    domains = ("branch",) if os.environ.get("REPRO_EXAMPLE_FAST") else (
+        "branch", "dcache"
+    )
+    for domain in domains:
         paper_config = DOMAIN_CONFIGS[domain]
         reference = AnalysisPipeline.for_domain(domain, node).run()
 

@@ -39,6 +39,7 @@ from repro.events.catalogs._builders import log_uniform_sigma
 from repro.events.model import RawEvent
 from repro.events.registry import EventRegistry
 from repro.hardware.systems import MachineNode
+from repro.obs import get_tracer
 
 if TYPE_CHECKING:
     from repro.faults import FaultConfig, FaultInjector
@@ -127,6 +128,26 @@ class BenchmarkRunner:
         per-attempt injection streams so a retry draws a fresh fault
         pattern while a re-run of the same attempt is bit-identical.
         """
+        tracer = get_tracer()
+        with tracer.span(
+            "runner-run", benchmark=benchmark.name, attempt=attempt
+        ) as span:
+            measurement = self._run_impl(benchmark, events, attempt, tracer)
+            span.set(
+                events=len(measurement.event_names),
+                pmu_runs=measurement.pmu_runs,
+            )
+        tracer.incr("measure.events", len(measurement.event_names))
+        tracer.incr("measure.pmu_runs", measurement.pmu_runs)
+        return measurement
+
+    def _run_impl(
+        self,
+        benchmark: CATBenchmark,
+        events: Optional[EventRegistry],
+        attempt: int,
+        tracer,
+    ) -> MeasurementSet:
         context = f"{self.node.name}:{benchmark.name}"
         if self.faults is not None and self.faults.enabled:
             self.faults.check_run_failure(context, attempt)
@@ -168,6 +189,8 @@ class BenchmarkRunner:
         ]
         activity_matrix = packed.pack_activities(flat_activities)
         flat_counts = packed.true_counts(activity_matrix)
+        if packed.fallback:
+            tracer.incr("measure.fallback_events", len(packed.fallback))
         for j, event in packed.fallback:
             for i, activity in enumerate(flat_activities):
                 flat_counts[i, j] = event.true_count(activity)

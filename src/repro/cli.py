@@ -77,6 +77,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the numerical-robustness layer "
         "(sentinels, fallback ladders, certification)",
     )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record an observability trace of the run and write it as "
+        "JSONL (render it with: repro-cat trace PATH)",
+    )
 
     noise = sub.add_parser("noise", help="Fig 2-style variability plot")
     noise.add_argument("--domain", required=True, choices=sorted(DOMAIN_CONFIGS))
@@ -174,6 +181,31 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a deterministic content digest per task (CI compares "
         "these across kill/resume runs)",
+    )
+    sweep.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record one observability trace covering the whole sweep "
+        "and write it as JSONL (serial tasks only: pool workers trace "
+        "in their own processes and are not collected)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a JSONL observability trace (from run/sweep --trace)",
+    )
+    trace.add_argument("path", metavar="PATH", help="trace JSONL file")
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable digest (counters, stage timings) instead "
+        "of the summary tree",
+    )
+    trace.add_argument(
+        "--no-counters",
+        action="store_true",
+        help="omit the counter/gauge tables from the summary tree",
     )
 
     faults = sub.add_parser("faults", help="fault-injection utilities")
@@ -276,9 +308,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
 
+def _trace_scope(args):
+    """The observability scope a ``--trace PATH`` flag asks for: a live
+    ``obs.tracing`` context, or a null scope yielding ``None``."""
+    if getattr(args, "trace", None) is not None:
+        from repro.obs import tracing
+
+        return tracing(seed=args.seed)
+    from contextlib import nullcontext
+
+    return nullcontext(None)
+
+
+def _write_trace(tracer, path: str) -> None:
+    from pathlib import Path
+
+    Path(path).write_text(tracer.trace().to_jsonl())
+    print(f"trace written to {path}", file=sys.stderr)
+
+
 def _main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     _validate_args(args)
+
+    if args.command == "trace":
+        from pathlib import Path
+
+        from repro.obs import Trace, render_trace, trace_json_digest
+
+        path = Path(args.path)
+        if not path.exists():
+            raise SystemExit(f"repro-cat trace: no such file: {path}")
+        try:
+            trace = Trace.from_jsonl(path.read_text())
+        except ValueError as exc:
+            raise SystemExit(f"repro-cat trace: {path}: {exc}")
+        if args.json:
+            print(trace_json_digest(trace))
+        else:
+            print(render_trace(trace, show_counters=not args.no_counters))
+        return 0
 
     if args.command == "guard":
         # guard smoke: the ill-conditioned catalog must degrade, not crash.
@@ -331,7 +400,10 @@ def _main(argv: Optional[List[str]] = None) -> int:
             task_timeout=args.task_timeout,
             max_retries=args.retries,
         )
-        outcomes = engine.run(tasks, checkpoint_dir=args.resume)
+        with _trace_scope(args) as tracer:
+            outcomes = engine.run(tasks, checkpoint_dir=args.resume)
+        if tracer is not None:
+            _write_trace(tracer, args.trace)
         for outcome in outcomes:
             if not outcome.ok:
                 print(
@@ -468,11 +540,18 @@ def _main(argv: Optional[List[str]] = None) -> int:
 
     # command == "run"
     pipeline = AnalysisPipeline.for_domain(args.domain, node, config=_config_for(args))
-    try:
-        result = pipeline.run()
-    except GuardViolation as exc:
-        print(f"repro-cat run: {exc}", file=sys.stderr)
-        return 2
+    with _trace_scope(args) as tracer:
+        try:
+            result = pipeline.run()
+        except GuardViolation as exc:
+            if tracer is not None:
+                # The partial trace is exactly what diagnoses a strict
+                # failure: write it before reporting the violation.
+                _write_trace(tracer, args.trace)
+            print(f"repro-cat run: {exc}", file=sys.stderr)
+            return 2
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     print(result.summary())
     print()
     metrics = result.rounded_metrics if args.rounded else result.metrics

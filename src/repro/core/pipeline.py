@@ -48,6 +48,7 @@ from repro.core.signatures import Signature, signatures_for
 from repro.events.registry import EventRegistry
 from repro.guard import GuardConfig, GuardViolation, certify_metric, require_finite
 from repro.hardware.systems import MachineNode
+from repro.obs import get_tracer
 from repro.papi.presets import PresetTable
 
 if TYPE_CHECKING:
@@ -58,6 +59,7 @@ if TYPE_CHECKING:
         ScrubPolicy,
     )
     from repro.io.cache import MeasurementCache
+    from repro.obs import Trace
 
 __all__ = ["AnalysisPipeline", "PipelineConfig", "PipelineResult"]
 
@@ -134,6 +136,10 @@ class PipelineResult:
     # whether events were lost to corruption along the way.
     robustness: Optional["RobustnessReport"] = None
     degraded: bool = False
+    # Observability handle: the span tree and counter totals recorded for
+    # this run (None unless the run executed inside an ``obs.tracing``
+    # scope — tracing is off-by-default and costs nothing when off).
+    trace: Optional["Trace"] = None
 
     def metric(self, name: str) -> MetricDefinition:
         try:
@@ -171,6 +177,8 @@ class PipelineResult:
                 f"  {metric.metric:<40} error {metric.error:.2e}  "
                 f"[{status}]{trust}"
             )
+        if self.trace is not None:
+            lines.append(self.trace.footer())
         return "\n".join(lines)
 
 
@@ -452,55 +460,108 @@ class AnalysisPipeline:
 
     def run(self, measurement: Optional[MeasurementSet] = None) -> PipelineResult:
         """Execute all stages; ``measurement`` may be injected (e.g. from
-        disk) to skip the benchmark run."""
+        disk) to skip the benchmark run.
+
+        Every run records one span per stage into the ambient tracer
+        (:mod:`repro.obs`): with tracing off (the default) the hooks are
+        no-ops, and inside an ``obs.tracing`` scope the finished trace
+        rides out on ``PipelineResult.trace``.  Tracing never feeds back
+        into the analysis — traced and untraced runs are bit-identical
+        (property-tested).
+        """
+        tracer = get_tracer()
+        with tracer.span(
+            "pipeline",
+            domain=self.basis.name,
+            node=self.node.name,
+            benchmark=self.benchmark.name,
+        ) as span:
+            result = self._run_stages(measurement, tracer)
+        if tracer.enabled and span.depth == 0:
+            # Only a top-level run owns the trace; nested runs (e.g. sweep
+            # tasks) contribute spans to the enclosing scope, which
+            # exports one coherent trace for the whole sweep.
+            result.trace = tracer.trace()
+        return result
+
+    def _run_stages(
+        self, measurement: Optional[MeasurementSet], tracer
+    ) -> PipelineResult:
         config = self.config
         robustness: Optional["RobustnessReport"] = None
-        if (
-            measurement is not None
-            and config.guard.enabled
-            and self.scrub_policy is None
-        ):
-            # An externally supplied measurement (from disk, a cache, a
-            # remote run) gets boundary-checked before it reaches the
-            # solvers; internally measured data goes through the fault
-            # scrubber instead, which owns NaN repair.
-            require_finite(
-                np.asarray(measurement.data),
-                "measurement.data",
-                context=f"pipeline[{self.basis.name}]",
-            )
-        if measurement is None:
-            if self._injector is not None or self.scrub_policy is not None:
-                from repro.faults import RobustnessReport
+        with tracer.span("measure") as span:
+            injected = measurement is not None
+            if (
+                measurement is not None
+                and config.guard.enabled
+                and self.scrub_policy is None
+            ):
+                # An externally supplied measurement (from disk, a cache, a
+                # remote run) gets boundary-checked before it reaches the
+                # solvers; internally measured data goes through the fault
+                # scrubber instead, which owns NaN repair.
+                require_finite(
+                    np.asarray(measurement.data),
+                    "measurement.data",
+                    context=f"pipeline[{self.basis.name}]",
+                )
+            if measurement is None:
+                if self._injector is not None or self.scrub_policy is not None:
+                    from repro.faults import RobustnessReport
+
+                    robustness = RobustnessReport(
+                        context=f"{self.node.name}:{self.benchmark.name}"
+                    )
+                    measurement = self._measure_robust(robustness)
+                else:
+                    measurement = self._measure()
+            elif self.scrub_policy is not None:
+                # An externally supplied measurement can still be scrubbed.
+                from repro.faults import RobustnessReport, scrub_measurement
 
                 robustness = RobustnessReport(
                     context=f"{self.node.name}:{self.benchmark.name}"
                 )
-                measurement = self._measure_robust(robustness)
-            else:
-                measurement = self._measure()
-        elif self.scrub_policy is not None:
-            # An externally supplied measurement can still be scrubbed.
-            from repro.faults import RobustnessReport, scrub_measurement
-
-            robustness = RobustnessReport(
-                context=f"{self.node.name}:{self.benchmark.name}"
+                scrub = scrub_measurement(measurement, self.scrub_policy)
+                robustness.reconcile_scrub(scrub.actions)
+                measurement = scrub.measurement
+            span.set(
+                events=len(measurement.event_names),
+                rows=len(measurement.row_labels),
+                repetitions=int(measurement.data.shape[0]),
+                injected=injected,
             )
-            scrub = scrub_measurement(measurement, self.scrub_policy)
-            robustness.reconcile_scrub(scrub.actions)
-            measurement = scrub.measurement
         degraded = robustness.degraded if robustness is not None else False
+        if degraded:
+            tracer.incr("pipeline.degraded")
 
         # Stages 2-4: thread median happens inside the noise analysis and
         # measurement matrix; zero discard + tau filter:
-        noise = analyze_noise(measurement, tau=config.tau)
+        with tracer.span("noise-filter") as span:
+            noise = analyze_noise(measurement, tau=config.tau)
+            span.set(
+                measured=noise.n_measured,
+                kept=len(noise.kept),
+                noisy=len(noise.noisy),
+                zero=len(noise.discarded_zero),
+            )
+        tracer.incr("noise.measured", noise.n_measured)
+        tracer.incr("noise.kept", len(noise.kept))
+        tracer.incr("noise.noisy", len(noise.noisy))
+        tracer.incr("noise.discarded_zero", len(noise.discarded_zero))
 
-        surviving = measurement.select_events(noise.kept)
-        matrix = surviving.measurement_matrix()
-
-        representation = represent_events(
-            self.basis, noise.kept, matrix, config.representation_threshold
-        )
+        with tracer.span("representation") as span:
+            surviving = measurement.select_events(noise.kept)
+            matrix = surviving.measurement_matrix()
+            representation = represent_events(
+                self.basis, noise.kept, matrix, config.representation_threshold
+            )
+            span.set(
+                kept=len(representation.event_names),
+                rejected=len(representation.rejected),
+            )
+        tracer.incr("representation.kept", len(representation.event_names))
+        tracer.incr("representation.rejected", len(representation.rejected))
 
         if robustness is not None:
             # Faults the scrubber deliberately left alone (broad noise is
@@ -516,12 +577,20 @@ class AnalysisPipeline:
                 if record.outcome == "injected" and record.event in rejected:
                     record.outcome = "excluded"
 
-        qrcp = qrcp_specialized(
-            representation.x_matrix, alpha=config.alpha, guard=config.guard
-        )
-        selected_idx = qrcp.selected
-        selected_events = [representation.event_names[i] for i in selected_idx]
-        x_hat = representation.x_matrix[:, selected_idx]
+        with tracer.span("qrcp") as span:
+            qrcp = qrcp_specialized(
+                representation.x_matrix, alpha=config.alpha, guard=config.guard
+            )
+            selected_idx = qrcp.selected
+            selected_events = [representation.event_names[i] for i in selected_idx]
+            x_hat = representation.x_matrix[:, selected_idx]
+            span.set(
+                candidates=int(representation.x_matrix.shape[1]),
+                pivots=int(qrcp.rank),
+            )
+            if qrcp.health is not None and qrcp.health.guards_fired:
+                span.set(guards=" -> ".join(qrcp.health.guards_fired))
+        tracer.incr("qrcp.pivots", int(qrcp.rank))
 
         qrcp_guards = qrcp.health.guards_fired if qrcp.health is not None else ()
         certify = config.guard.enabled and config.guard.certify
@@ -532,50 +601,70 @@ class AnalysisPipeline:
         metrics: Dict[str, MetricDefinition] = {}
         rounded: Dict[str, MetricDefinition] = {}
         presets = PresetTable(architecture=self.node.name)
-        for signature in self.signatures:
-            definition = compose_metric(
-                signature.name,
-                x_hat,
-                selected_events,
-                signature,
-                rcond=config.lstsq_rcond,
-                guard=config.guard,
-            )
-            if degraded:
-                # Composed over a fault-degraded X-hat: flag the fitness.
-                definition = replace(definition, degraded=True)
-            if certify:
-                fired = qrcp_guards + (
-                    definition.health.guards_fired
-                    if definition.health is not None
-                    else ()
+        with tracer.span("compose") as span:
+            for signature in self.signatures:
+                with tracer.span("lstsq", metric=signature.name) as solve_span:
+                    definition = compose_metric(
+                        signature.name,
+                        x_hat,
+                        selected_events,
+                        signature,
+                        rcond=config.lstsq_rcond,
+                        guard=config.guard,
+                    )
+                    solve_span.set(
+                        error=float(definition.error),
+                        composable=definition.composable,
+                    )
+                    if (
+                        definition.health is not None
+                        and definition.health.guards_fired
+                    ):
+                        solve_span.set(
+                            guards=" -> ".join(definition.health.guards_fired)
+                        )
+                if degraded:
+                    # Composed over a fault-degraded X-hat: flag the fitness.
+                    definition = replace(definition, degraded=True)
+                if certify:
+                    fired = qrcp_guards + (
+                        definition.health.guards_fired
+                        if definition.health is not None
+                        else ()
+                    )
+                    trust = certify_metric(
+                        signature.name,
+                        self.basis.matrix,
+                        m_sel,
+                        signature.coords,
+                        selected_events,
+                        definition.coefficients,
+                        definition.error,
+                        config=config.guard,
+                        rcond=config.lstsq_rcond,
+                        degraded=degraded,
+                        guards_fired=fired,
+                    )
+                    definition = replace(definition, trust=trust)
+                metrics[signature.name] = definition
+                snapped = round_coefficients(
+                    definition,
+                    x_hat=x_hat,
+                    snap_tol=config.round_snap_tol,
+                    zero_tol=config.round_zero_tol,
                 )
-                trust = certify_metric(
-                    signature.name,
-                    self.basis.matrix,
-                    m_sel,
-                    signature.coords,
-                    selected_events,
-                    definition.coefficients,
-                    definition.error,
-                    config=config.guard,
-                    rcond=config.lstsq_rcond,
-                    degraded=degraded,
-                    guards_fired=fired,
-                )
-                definition = replace(definition, trust=trust)
-            metrics[signature.name] = definition
-            snapped = round_coefficients(
-                definition,
-                x_hat=x_hat,
-                snap_tol=config.round_snap_tol,
-                zero_tol=config.round_zero_tol,
-            )
-            rounded[signature.name] = snapped
-            if definition.composable:
-                # Presets carry the snapped coefficients (Section VI-D):
-                # consumers want 1*EVENT, not 1.00001*EVENT - 3e-16*OTHER.
-                presets.define(snapped.as_preset())
+                rounded[signature.name] = snapped
+                if definition.composable:
+                    # Presets carry the snapped coefficients (Section VI-D):
+                    # consumers want 1*EVENT, not 1.00001*EVENT - 3e-16*OTHER.
+                    presets.define(snapped.as_preset())
+            composable = sum(1 for m in metrics.values() if m.composable)
+            span.set(metrics=len(metrics), composable=composable)
+        tracer.incr("compose.metrics", len(metrics))
+        tracer.incr("compose.composable", composable)
+        for definition in metrics.values():
+            if definition.trust is not None:
+                tracer.incr(f"certify.{definition.trust.level}")
 
         if config.strict and config.guard.enabled:
             problems: List[str] = []

@@ -108,6 +108,10 @@ def _guarded(
     # so R stays numerically faithful to the input.
     from dataclasses import replace as _replace
 
+    from repro.obs import get_tracer
+
+    get_tracer().incr("guard.fired.qrcp-column-scaled-repivot")
+
     norms = np.sqrt(np.einsum("ij,ij->j", x, x))
     scale = np.where(norms > 0.0, norms, 1.0)
     perm2, rank2, _ = repivot(x / scale)

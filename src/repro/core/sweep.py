@@ -48,6 +48,7 @@ from repro.core.pipeline import (
 )
 from repro.faults import FaultConfig, FaultInjector, FaultRecord
 from repro.hardware.systems import aurora_node, frontier_cpu_node, frontier_node
+from repro.obs import get_tracer
 
 __all__ = [
     "SWEEP_SYSTEMS",
@@ -399,10 +400,13 @@ class SweepEngine:
         self, task: SweepTask, checkpoint: Optional[SweepCheckpoint]
     ) -> SweepOutcome:
         failures: List[Tuple[str, str]] = []
+        tracer = get_tracer()
         for attempt in range(self.max_retries + 1):
             if attempt:
                 time.sleep(self.backoff * 2 ** (attempt - 1))
-            outcome = _run_one(task, attempt)
+                tracer.incr("sweep.retries")
+            with tracer.span("sweep-task", label=task.label, attempt=attempt):
+                outcome = _run_one(task, attempt)
             if outcome.ok:
                 self._note_recovery(outcome, failures)
                 if checkpoint is not None:
@@ -481,37 +485,48 @@ class SweepEngine:
         tasks = list(tasks)
         if not tasks:
             return []
+        tracer = get_tracer()
         checkpoint = (
             SweepCheckpoint(checkpoint_dir) if checkpoint_dir is not None else None
         )
         results: List[Optional[SweepOutcome]] = [None] * len(tasks)
-        pending: List[int] = []
-        for i, task in enumerate(tasks):
-            loaded = checkpoint.load(task) if checkpoint is not None else None
-            if loaded is not None:
-                loaded.resumed = True
-                results[i] = loaded
-            else:
-                pending.append(i)
+        with tracer.span(
+            "sweep", tasks=len(tasks), executor=self.executor
+        ) as span:
+            pending: List[int] = []
+            for i, task in enumerate(tasks):
+                loaded = checkpoint.load(task) if checkpoint is not None else None
+                if loaded is not None:
+                    loaded.resumed = True
+                    results[i] = loaded
+                else:
+                    pending.append(i)
 
-        if pending:
-            if self.executor == "serial" or len(pending) == 1:
-                for i in pending:
-                    results[i] = self._run_serial(tasks[i], checkpoint)
-            else:
-                try:
-                    self._run_pool(tasks, pending, results, checkpoint)
-                except (OSError, PermissionError) as exc:
-                    # Pool could not start (restricted environment).
-                    logger.warning(
-                        "sweep worker pool unavailable (%s: %s); "
-                        "falling back to serial execution",
-                        type(exc).__name__,
-                        exc,
-                    )
+            if pending:
+                if self.executor == "serial" or len(pending) == 1:
                     for i in pending:
-                        if results[i] is None:
-                            results[i] = self._run_serial(tasks[i], checkpoint)
+                        results[i] = self._run_serial(tasks[i], checkpoint)
+                else:
+                    try:
+                        self._run_pool(tasks, pending, results, checkpoint)
+                    except (OSError, PermissionError) as exc:
+                        # Pool could not start (restricted environment).
+                        logger.warning(
+                            "sweep worker pool unavailable (%s: %s); "
+                            "falling back to serial execution",
+                            type(exc).__name__,
+                            exc,
+                        )
+                        for i in pending:
+                            if results[i] is None:
+                                results[i] = self._run_serial(tasks[i], checkpoint)
+            ok = sum(1 for o in results if o is not None and o.ok)
+            resumed = sum(1 for o in results if o is not None and o.resumed)
+            span.set(ok=ok, failed=len(tasks) - ok, resumed=resumed)
+        tracer.incr("sweep.tasks", len(tasks))
+        tracer.incr("sweep.ok", ok)
+        tracer.incr("sweep.failed", len(tasks) - ok)
+        tracer.incr("sweep.resumed", resumed)
         return results  # type: ignore[return-value]
 
     def run_grid(

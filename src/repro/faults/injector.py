@@ -30,6 +30,7 @@ from repro.faults.model import (
     InjectedWorkerCrash,
     TransientMeasurementError,
 )
+from repro.obs import get_tracer
 
 __all__ = ["FaultInjector"]
 
@@ -102,6 +103,9 @@ class FaultInjector:
                 col[wrap] = np.mod(col[wrap], modulus)
             col[drop] = config.dropout_value
             for kind, mask in (("dropout", drop), ("spike", spike), ("overflow", wrap)):
+                fired = int(mask.sum())
+                if fired:
+                    get_tracer().incr(f"faults.injected.{kind}", fired)
                 for rep, thread, row in zip(*np.nonzero(mask)):
                     self.records.append(
                         FaultRecord(
@@ -144,6 +148,7 @@ class FaultInjector:
                     detail=f"attempt {attempt}",
                 )
             )
+            get_tracer().incr("faults.injected.run-failure")
             raise TransientMeasurementError(
                 f"injected transient measurement failure ({context}, attempt {attempt})"
             )
@@ -155,6 +160,7 @@ class FaultInjector:
             self.records.append(
                 FaultRecord(kind="crash", context=context, detail=f"attempt {attempt}")
             )
+            get_tracer().incr("faults.injected.crash")
             raise InjectedWorkerCrash(
                 f"injected worker crash ({context}, attempt {attempt})"
             )
@@ -165,6 +171,7 @@ class FaultInjector:
             self.records.append(
                 FaultRecord(kind="hang", context=context, detail=f"attempt {attempt}")
             )
+            get_tracer().incr("faults.injected.hang")
             return self.config.hang_seconds
         return 0.0
 
@@ -180,6 +187,7 @@ class FaultInjector:
         self.records.append(
             FaultRecord(kind="cache-corruption", context=str(path))
         )
+        get_tracer().incr("faults.injected.cache-corruption")
         return True
 
     def maybe_corrupt_cache(self, root: Union[str, Path], context: str) -> int:

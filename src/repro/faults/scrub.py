@@ -35,6 +35,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.cat.measurement import MeasurementSet
+from repro.obs import get_tracer
 
 __all__ = ["ScrubAction", "ScrubPolicy", "ScrubResult", "scrub_measurement"]
 
@@ -220,4 +221,8 @@ def scrub_measurement(
         data=new_data,
         pmu_runs=measurement.pmu_runs,
     )
+    if actions:
+        tracer = get_tracer()
+        for action in actions:
+            tracer.incr(f"scrub.{action.action}")
     return ScrubResult(measurement=scrubbed, actions=actions, dropped_events=dropped)

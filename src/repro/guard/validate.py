@@ -39,6 +39,9 @@ class ValidationError(ValueError):
 
 
 def _fail(context: str, message: str) -> None:
+    from repro.obs import get_tracer
+
+    get_tracer().incr("guard.validation_rejections")
     prefix = f"{context}: " if context else ""
     raise ValidationError(f"{prefix}{message}")
 

@@ -45,6 +45,7 @@ from typing import Iterable, List, Optional, Union
 from repro.cat.measurement import MeasurementSet
 from repro.events.model import RawEvent
 from repro.io.store import load_measurements, save_measurements
+from repro.obs import get_tracer
 
 __all__ = [
     "CacheStats",
@@ -211,6 +212,7 @@ class MeasurementCache:
                 moved.append(f.name)
         self.quarantined.append(key)
         self.stats.corrupt += 1
+        get_tracer().incr("cache.corrupt")
         logger.warning(
             "cache entry %s failed verification (%s: %s); quarantined %s "
             "and re-measuring",
@@ -240,6 +242,7 @@ class MeasurementCache:
         if cached is not None:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
+            get_tracer().incr("cache.memory_hits")
             return cached
         path = self._disk_path(key)
         if path is not None and path.with_suffix(".npz").exists():
@@ -251,14 +254,17 @@ class MeasurementCache:
             else:
                 self._remember(key, measurement)
                 self.stats.disk_hits += 1
+                get_tracer().incr("cache.disk_hits")
                 return measurement
         self.stats.misses += 1
+        get_tracer().incr("cache.misses")
         return None
 
     def put(self, key: str, measurement: MeasurementSet) -> None:
         """Store a measurement under its content address."""
         self._remember(key, measurement)
         self.stats.stores += 1
+        get_tracer().incr("cache.stores")
         path = self._disk_path(key)
         if path is None:
             return

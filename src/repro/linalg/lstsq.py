@@ -38,6 +38,7 @@ import numpy as np
 from repro.linalg.householder import HouseholderQR
 from repro.linalg.norms import backward_error, vector_norm
 from repro.linalg.triangular import solve_upper
+from repro.obs import get_tracer
 
 if TYPE_CHECKING:
     from repro.guard.health import GuardConfig, NumericalHealth
@@ -267,6 +268,9 @@ def _fallback_ladder(
     scaled_health = triangular_health(
         r_scaled, original=a_scaled, refine_iterations=guard.refine_iterations
     )
+    tracer = get_tracer()
+    for rung in fired[len(health.guards_fired):]:
+        tracer.incr(f"guard.fired.{rung}")
     return x, replace(
         health,
         condition_estimate=health.condition_estimate,

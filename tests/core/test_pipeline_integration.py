@@ -1,36 +1,16 @@
 """End-to-end pipeline tests: the paper's Section V selections and
 Tables V-VIII, reproduced from simulated measurements.
 
-These are the headline integration tests; each fixture runs the full
-measure -> de-noise -> represent -> QRCP -> least-squares chain once per
-module.
+These are the headline integration tests; the full measure -> de-noise ->
+represent -> QRCP -> least-squares chain runs once per session via the
+shared fixtures in the root ``conftest.py``.
 """
 
 import numpy as np
 import pytest
 
 from repro.core import AnalysisPipeline, PipelineConfig
-from repro.hardware import aurora_node, frontier_node
-
-
-@pytest.fixture(scope="module")
-def branch_result():
-    return AnalysisPipeline.for_domain("branch", aurora_node()).run()
-
-
-@pytest.fixture(scope="module")
-def cpu_flops_result():
-    return AnalysisPipeline.for_domain("cpu_flops", aurora_node()).run()
-
-
-@pytest.fixture(scope="module")
-def gpu_flops_result():
-    return AnalysisPipeline.for_domain("gpu_flops", frontier_node()).run()
-
-
-@pytest.fixture(scope="module")
-def dcache_result():
-    return AnalysisPipeline.for_domain("dcache", aurora_node()).run()
+from repro.hardware import aurora_node
 
 
 class TestBranchPipeline:

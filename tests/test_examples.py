@@ -1,0 +1,45 @@
+"""Examples smoke test: every script in ``examples/`` must run headless.
+
+Each example executes in a subprocess with ``REPRO_EXAMPLE_FAST=1`` (the
+small-size override the slow examples honour), so example rot — an
+import that moved, an API that changed shape, a metric name that no
+longer exists — fails CI instead of the first user who copies the code.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, f"no example scripts found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs_headless(script: Path):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_FAST"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

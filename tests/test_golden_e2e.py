@@ -1,0 +1,154 @@
+"""Golden end-to-end regression suite: full pipeline on every catalog.
+
+Each case runs the complete measure -> de-noise -> represent -> QRCP ->
+compose chain on one (catalog, domain) pair at the pinned seed, inside a
+tracing scope, and compares a stable projection of the result — the
+selected-event list, the metric table (errors and coefficient terms
+through :func:`repro.io.tables.format_float`, so the text is
+BLAS/platform stable), the rounded terms, the preset names, and the
+trace counter totals — against the committed fixture under
+``tests/golden/``.
+
+Span *timings* are deliberately absent: they are the only
+non-deterministic part of a trace.  Counter totals, selections and
+formatted coefficients must not move at all; any drift fails with a
+line-level diff naming exactly what changed.
+
+Regenerating after an intentional analysis change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_e2e.py --update-golden
+
+then review the fixture diff like any other code change (the diff *is*
+the reviewable summary of what the change did to the analysis).
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import AnalysisPipeline
+from repro.hardware.systems import aurora_node, frontier_cpu_node, frontier_node
+from repro.io.tables import format_float
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+SEED = 2024
+
+#: (fixture name, catalog, node factory, domain)
+CASES = [
+    ("sapphire_rapids-cpu_flops", "sapphire_rapids", aurora_node, "cpu_flops"),
+    ("sapphire_rapids-branch", "sapphire_rapids", aurora_node, "branch"),
+    ("sapphire_rapids-dcache", "sapphire_rapids", aurora_node, "dcache"),
+    ("zen3-cpu_flops", "zen3", frontier_cpu_node, "cpu_flops"),
+    ("zen3-branch", "zen3", frontier_cpu_node, "branch"),
+    ("mi250x-gpu_flops", "mi250x", frontier_node, "gpu_flops"),
+]
+
+
+def golden_payload(result, catalog: str) -> dict:
+    """The stable projection of a pipeline result a golden fixture pins."""
+
+    def metric_entry(metric) -> dict:
+        # Coefficients and errors below 1e-12 are accumulation residue
+        # whose exact value depends on the BLAS summation order; pinning
+        # them would make the fixtures platform-sensitive for no signal.
+        entry = {
+            "error": (
+                "<1e-12" if 0 < metric.error < 1e-12
+                else format_float(metric.error)
+            ),
+            "composable": metric.composable,
+            "terms": {
+                event: format_float(coeff)
+                for event, coeff in sorted(metric.terms().items())
+                if abs(coeff) >= 1e-12
+            },
+        }
+        if metric.trust is not None:
+            entry["trust"] = metric.trust.level
+        return entry
+
+    assert result.trace is not None, "golden runs must execute traced"
+    return {
+        "catalog": catalog,
+        "domain": result.domain,
+        "seed": SEED,
+        "events_measured": result.noise.n_measured,
+        "discarded_zero": sorted(result.noise.discarded_zero),
+        "noisy": sorted(result.noise.noisy),
+        "representation_rejected": sorted(result.representation.rejected),
+        "selected_events": list(result.selected_events),
+        "metrics": {
+            name: metric_entry(metric)
+            for name, metric in sorted(result.metrics.items())
+        },
+        "rounded_terms": {
+            name: {
+                event: format_float(coeff)
+                for event, coeff in sorted(metric.terms().items())
+            }
+            for name, metric in sorted(result.rounded_metrics.items())
+        },
+        "presets": sorted(p.name for p in result.presets),
+        "trace_counters": result.trace.counter_totals(),
+    }
+
+
+def run_case(node_factory, domain: str):
+    node = node_factory(seed=SEED)
+    with obs.tracing(seed=SEED):
+        return AnalysisPipeline.for_domain(domain, node).run()
+
+
+def dumps(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+@pytest.mark.parametrize(
+    "name,catalog,node_factory,domain",
+    CASES,
+    ids=[case[0] for case in CASES],
+)
+def test_golden_e2e(name, catalog, node_factory, domain, update_golden):
+    path = GOLDEN_DIR / f"{name}.json"
+    result = run_case(node_factory, domain)
+    actual = dumps(golden_payload(result, catalog))
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(actual)
+        pytest.skip(f"golden fixture regenerated: {path.name}")
+
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"pytest {__file__} --update-golden"
+    )
+    expected = path.read_text()
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                fromfile=f"golden/{path.name} (committed)",
+                tofile=f"golden/{path.name} (this run)",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"golden drift on {name}:\n{diff}\n\n"
+            "If this change is intentional, regenerate with "
+            "--update-golden and commit the fixture diff.",
+            pytrace=False,
+        )
+
+
+def test_golden_dir_has_no_strays():
+    """Every committed fixture corresponds to a live case (a renamed or
+    removed case must take its fixture with it)."""
+    committed = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    expected = {f"{case[0]}.json" for case in CASES}
+    assert committed == expected
