@@ -8,6 +8,13 @@ Usage::
     repro-cat list-events --system aurora --prefix BR_
     repro-cat run --domain cpu_flops --save-presets presets.json
     repro-cat sweep --systems aurora,frontier-cpu --domains cpu_flops,branch
+    repro-cat serve --catalog ./catalog --cache-dir ./cache
+    repro-cat catalog list --root ./catalog
+
+Exit codes follow one convention across every verb: 0 success, 1 the
+analysis itself failed (failed sweep task, strict-mode guard violation,
+unaccounted faults), 2 usage or validation error (bad flags, unknown
+names, malformed inputs).
 """
 
 from __future__ import annotations
@@ -34,12 +41,21 @@ _DOMAIN_SYSTEM = {
 }
 
 
+def _usage_exit(message: str) -> SystemExit:
+    """Usage/validation failure: message on stderr, exit status 2 (the
+    same status argparse itself uses for bad flags)."""
+    print(message, file=sys.stderr)
+    return SystemExit(2)
+
+
 def _node(system: str, seed: int):
     if system == "aurora":
         return aurora_node(seed=seed)
     if system == "frontier":
         return frontier_node(seed=seed)
-    raise SystemExit(f"unknown system {system!r}; expected aurora or frontier")
+    raise _usage_exit(
+        f"unknown system {system!r}; expected aurora or frontier"
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-cat",
         description="Automated definition of performance metrics from raw "
         "hardware events (IPDPSW'24 reproduction).",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -68,7 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--strict",
         action="store_true",
-        help="fail (exit 2) instead of printing metrics whose certification "
+        help="fail (exit 1) instead of printing metrics whose certification "
         "is 'reject' or whose selection needed guarded intervention",
     )
     run.add_argument(
@@ -241,6 +262,86 @@ def _build_parser() -> argparse.ArgumentParser:
     smoke.add_argument(
         "--summary", action="store_true", help="also print the pipeline summary"
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP metric service (coalescing, batching, "
+        "versioned catalog); Ctrl-C stops it cleanly",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8752, help="0 = ephemeral")
+    serve.add_argument(
+        "--catalog",
+        metavar="DIR",
+        default=None,
+        help="versioned metric-catalog root; omitted = serve fresh "
+        "pipeline runs only, store nothing",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="shared measurement cache for the pipeline runs",
+    )
+    serve.add_argument("--workers", type=int, default=2, help="worker pool size")
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="dispatch-queue bound; a full queue rejects with HTTP 429",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=4,
+        help="max distinct analyses drained into one dispatch",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="re-runs of a crashed/faulted analysis (default 1)",
+    )
+
+    catalog = sub.add_parser(
+        "catalog", help="inspect a versioned metric catalog on disk"
+    )
+    catalog_sub = catalog.add_subparsers(dest="catalog_command", required=True)
+    cat_list = catalog_sub.add_parser(
+        "list", help="summary row per stored (arch, metric, config) key"
+    )
+    cat_list.add_argument("--root", required=True, metavar="DIR")
+    cat_list.add_argument("--arch", default=None, help="filter by architecture")
+    cat_show = catalog_sub.add_parser(
+        "show", help="one stored metric definition, bit-exact"
+    )
+    cat_show.add_argument("--root", required=True, metavar="DIR")
+    cat_show.add_argument("--arch", required=True)
+    cat_show.add_argument("metric", help="metric name (as served)")
+    cat_show.add_argument(
+        "--digest",
+        default=None,
+        help="config digest (only needed when several are stored)",
+    )
+    cat_show.add_argument(
+        "--metric-version",
+        type=int,
+        default=None,
+        help="stored version (default: latest)",
+    )
+    cat_diff = catalog_sub.add_parser(
+        "diff", help="field-level diff between two stored versions"
+    )
+    cat_diff.add_argument("--root", required=True, metavar="DIR")
+    cat_diff.add_argument("--arch", required=True)
+    cat_diff.add_argument("metric", help="metric name (as served)")
+    cat_diff.add_argument("version_a", type=int)
+    cat_diff.add_argument("version_b", type=int)
+    cat_diff.add_argument(
+        "--digest",
+        default=None,
+        help="config digest (only needed when several are stored)",
+    )
     return parser
 
 
@@ -292,8 +393,14 @@ def _validate_args(args) -> None:
             v.require_int(args.retries, "--retries", context, minimum=0)
         if getattr(args, "task_timeout", None) is not None:
             v.require_positive(args.task_timeout, "--task-timeout", context)
+        if getattr(args, "queue_limit", None) is not None:
+            v.require_int(args.queue_limit, "--queue-limit", context, minimum=1)
+        if getattr(args, "batch_size", None) is not None:
+            v.require_int(args.batch_size, "--batch-size", context, minimum=1)
+        if getattr(args, "port", None) is not None:
+            v.require_int(args.port, "--port", context, minimum=0)
     except ValidationError as exc:
-        raise SystemExit(str(exc))
+        raise _usage_exit(str(exc))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -327,6 +434,98 @@ def _write_trace(tracer, path: str) -> None:
     print(f"trace written to {path}", file=sys.stderr)
 
 
+def _catalog_digest_for(store, arch: str, metric: str, digest: Optional[str]) -> str:
+    """Resolve the config digest for a catalog lookup: the explicit flag,
+    or the single stored digest — ambiguity is a usage error."""
+    if digest is not None:
+        return digest
+    digests = sorted(
+        {
+            row["config_digest"]
+            for row in store.list_entries(arch)
+            if row["metric"] == metric
+        }
+    )
+    if not digests:
+        raise _usage_exit(
+            f"repro-cat catalog: no entry for ({arch!r}, {metric!r}) under "
+            f"{store.root}"
+        )
+    if len(digests) > 1:
+        raise _usage_exit(
+            "repro-cat catalog: several config digests stored for "
+            f"({arch!r}, {metric!r}); pick one with --digest: "
+            + ", ".join(digests)
+        )
+    return digests[0]
+
+
+def _catalog_main(args) -> int:
+    from repro.serve import MetricCatalogStore
+
+    store = MetricCatalogStore(args.root)
+
+    if args.catalog_command == "list":
+        rows = store.list_entries(args.arch)
+        if not rows:
+            print("(catalog is empty)")
+            return 0
+        for row in rows:
+            trust = row["trust"] or "-"
+            flags = []
+            if not row["composable"]:
+                flags.append("NOT-COMPOSABLE")
+            if row["degraded"]:
+                flags.append("DEGRADED")
+            suffix = ("  " + " ".join(flags)) if flags else ""
+            print(
+                f"{row['arch']}  {row['metric']}  "
+                f"config={row['config_digest']}  v{row['latest_version']} "
+                f"({row['versions']} version(s))  err={row['error']:.2e}  "
+                f"trust={trust}{suffix}"
+            )
+        return 0
+
+    digest = _catalog_digest_for(store, args.arch, args.metric, args.digest)
+
+    if args.catalog_command == "show":
+        entry = store.get(
+            args.arch, args.metric, digest, version=args.metric_version
+        )
+        if entry is None:
+            wanted = (
+                f"version {args.metric_version}"
+                if args.metric_version is not None
+                else "latest version"
+            )
+            raise _usage_exit(
+                f"repro-cat catalog: no {wanted} of ({args.arch!r}, "
+                f"{args.metric!r}, {digest}) under {store.root}"
+            )
+        print(f"architecture : {entry.arch}")
+        print(f"domain       : {entry.domain} (seed {entry.seed})")
+        print(f"config digest: {entry.config_digest}")
+        print(f"events digest: {entry.events_digest}")
+        print(f"version      : {entry.version}")
+        if entry.trace_digest is not None:
+            print(f"trace digest : {entry.trace_digest}")
+        if entry.guards_fired:
+            print(f"guards fired : {', '.join(entry.guards_fired)}")
+        print()
+        print(entry.definition().pretty())
+        return 0
+
+    # catalog_command == "diff"
+    try:
+        diff = store.diff(
+            args.arch, args.metric, digest, args.version_a, args.version_b
+        )
+    except KeyError as exc:
+        raise _usage_exit(f"repro-cat catalog: {exc.args[0]}")
+    print(diff.render())
+    return 0
+
+
 def _main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     _validate_args(args)
@@ -338,11 +537,11 @@ def _main(argv: Optional[List[str]] = None) -> int:
 
         path = Path(args.path)
         if not path.exists():
-            raise SystemExit(f"repro-cat trace: no such file: {path}")
+            raise _usage_exit(f"repro-cat trace: no such file: {path}")
         try:
             trace = Trace.from_jsonl(path.read_text())
         except ValueError as exc:
-            raise SystemExit(f"repro-cat trace: {path}: {exc}")
+            raise _usage_exit(f"repro-cat trace: {path}: {exc}")
         if args.json:
             print(trace_json_digest(trace))
         else:
@@ -359,6 +558,47 @@ def _main(argv: Optional[List[str]] = None) -> int:
             print()
             print(outcome.result.summary())
         return 0 if outcome.passed else 1
+
+    if args.command == "serve":
+        import asyncio
+
+        from repro.serve import MetricCatalogStore, MetricService, run_server
+
+        store = (
+            MetricCatalogStore(args.catalog) if args.catalog is not None else None
+        )
+        service = MetricService(
+            store,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            batch_size=args.batch_size,
+            cache_dir=args.cache_dir,
+            retries=args.retries,
+        )
+
+        def announce(port: int) -> None:
+            print(
+                f"repro-cat serve: listening on http://{args.host}:{port} "
+                f"(catalog: {args.catalog or 'none'})",
+                file=sys.stderr,
+                flush=True,
+            )
+
+        try:
+            asyncio.run(
+                run_server(
+                    service,
+                    host=args.host,
+                    port=args.port,
+                    ready_message=announce,
+                )
+            )
+        except KeyboardInterrupt:
+            print("repro-cat serve: stopped", file=sys.stderr)
+        return 0
+
+    if args.command == "catalog":
+        return _catalog_main(args)
 
     if args.command == "list-events":
         node = _node(args.system, args.seed)
@@ -378,7 +618,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
             try:
                 faults = parse_fault_spec(args.faults)
             except ValueError as exc:
-                raise SystemExit(f"repro-cat sweep: --faults: {exc}")
+                raise _usage_exit(f"repro-cat sweep: --faults: {exc}")
         try:
             tasks = expand_grid(
                 systems,
@@ -388,9 +628,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 faults=faults,
             )
         except ValueError as exc:
-            raise SystemExit(f"repro-cat sweep: error: {exc}")
+            raise _usage_exit(f"repro-cat sweep: error: {exc}")
         if not tasks:
-            raise SystemExit(
+            raise _usage_exit(
                 f"no measurable (system, domain) combination in "
                 f"{systems} x {domains}"
             )
@@ -466,7 +706,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
         try:
             config = parse_fault_spec(args.spec)
         except ValueError as exc:
-            raise SystemExit(f"repro-cat faults demo: --spec: {exc}")
+            raise _usage_exit(f"repro-cat faults demo: --spec: {exc}")
         node = _node(_DOMAIN_SYSTEM[args.domain], args.seed)
         pipeline = AnalysisPipeline.for_domain(args.domain, node, faults=config)
         result = pipeline.run()
@@ -549,7 +789,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 # failure: write it before reporting the violation.
                 _write_trace(tracer, args.trace)
             print(f"repro-cat run: {exc}", file=sys.stderr)
-            return 2
+            return 1
     if tracer is not None:
         _write_trace(tracer, args.trace)
     print(result.summary())

@@ -105,6 +105,24 @@ class PipelineConfig:
         if not isinstance(self.guard, GuardConfig):
             raise ValueError("guard must be a GuardConfig")
 
+    def digest(self) -> str:
+        """Content address of every knob that shapes the analysis output.
+
+        The frozen-dataclass repr covers all thresholds (including the
+        nested :class:`GuardConfig`), so two configs digest equal exactly
+        when every analysis-relevant field matches.  ``use_measurement_cache``
+        is excluded: the cache returns bit-identical measurements, so it
+        cannot change a result — and the metric catalog
+        (:mod:`repro.serve`) must key a cached run and an uncached run of
+        the same thresholds to the same entry.
+        """
+        from dataclasses import replace as _replace
+
+        from repro.io.digest import json_digest
+
+        normalized = _replace(self, use_measurement_cache=False)
+        return json_digest({"pipeline_config": repr(normalized)}, length=16)
+
 
 #: Paper-stated thresholds per benchmark domain.
 DOMAIN_CONFIGS: Dict[str, PipelineConfig] = {

@@ -28,7 +28,6 @@ cross-architecture example.
 
 from __future__ import annotations
 
-import hashlib
 import logging
 import os
 import pickle
@@ -48,6 +47,7 @@ from repro.core.pipeline import (
 )
 from repro.faults import FaultConfig, FaultInjector, FaultRecord
 from repro.hardware.systems import aurora_node, frontier_cpu_node, frontier_node
+from repro.io.digest import sha256_hex
 from repro.obs import get_tracer
 
 __all__ = [
@@ -133,7 +133,7 @@ class SweepTask:
                 repr(self.faults),
             )
         )
-        return hashlib.sha256(blob.encode()).hexdigest()[:24]
+        return sha256_hex(blob, length=24)
 
 
 @dataclass
@@ -568,14 +568,13 @@ def result_digest(result: PipelineResult) -> str:
     digest whether they ran serially, in parallel, or resumed from a
     checkpoint; the CI fault smoke test compares exactly this.
     """
-    h = hashlib.sha256()
-    h.update(result.measurement.data.tobytes())
-    h.update("\x00".join(result.measurement.event_names).encode())
-    h.update("\x00".join(result.selected_events).encode())
+    chunks: List[Union[str, bytes]] = [
+        result.measurement.data.tobytes(),
+        "\x00".join(result.measurement.event_names),
+        "\x00".join(result.selected_events),
+    ]
     for name in sorted(result.rounded_metrics):
         metric = result.rounded_metrics[name]
-        h.update(name.encode())
         terms = sorted((e, round(c, 12)) for e, c in metric.terms().items())
-        h.update(repr(terms).encode())
-        h.update(f"{metric.error:.12e}".encode())
-    return h.hexdigest()[:16]
+        chunks.extend((name, repr(terms), f"{metric.error:.12e}"))
+    return sha256_hex(*chunks, length=16)

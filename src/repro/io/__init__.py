@@ -1,31 +1,66 @@
-"""Persistence, measurement caching and tabular export."""
+"""Persistence, measurement caching, digests and tabular export.
 
-from repro.io.cache import (
-    CacheStats,
-    MeasurementCache,
-    default_measurement_cache,
-    event_set_digest,
-    measurement_cache_key,
-)
-from repro.io.store import (
-    load_measurements,
-    load_presets,
-    save_measurements,
-    save_presets,
-)
-from repro.io.tables import render_markdown_table, write_csv, write_markdown
+Re-exports resolve lazily: low-level modules (``repro.obs``,
+``repro.serve``) import :mod:`repro.io.digest` for the shared hashing
+helpers, and an eager ``from repro.io.cache import ...`` here would pull
+``repro.obs`` back in mid-initialization (cache instrumentation) and
+deadlock the import graph.
+"""
 
-__all__ = [
-    "CacheStats",
-    "MeasurementCache",
-    "default_measurement_cache",
-    "event_set_digest",
-    "load_measurements",
-    "load_presets",
-    "measurement_cache_key",
-    "render_markdown_table",
-    "save_measurements",
-    "save_presets",
-    "write_csv",
-    "write_markdown",
-]
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover — type-checker-only eager imports
+    from repro.io.cache import (
+        CacheStats,
+        MeasurementCache,
+        default_measurement_cache,
+        event_set_digest,
+        measurement_cache_key,
+    )
+    from repro.io.digest import (
+        canonical_json,
+        file_digest,
+        json_digest,
+        sha256_hex,
+    )
+    from repro.io.store import (
+        load_measurements,
+        load_presets,
+        save_measurements,
+        save_presets,
+    )
+    from repro.io.tables import render_markdown_table, write_csv, write_markdown
+
+_EXPORTS = {
+    "CacheStats": "repro.io.cache",
+    "MeasurementCache": "repro.io.cache",
+    "default_measurement_cache": "repro.io.cache",
+    "event_set_digest": "repro.io.cache",
+    "measurement_cache_key": "repro.io.cache",
+    "canonical_json": "repro.io.digest",
+    "file_digest": "repro.io.digest",
+    "json_digest": "repro.io.digest",
+    "sha256_hex": "repro.io.digest",
+    "load_measurements": "repro.io.store",
+    "load_presets": "repro.io.store",
+    "save_measurements": "repro.io.store",
+    "save_presets": "repro.io.store",
+    "render_markdown_table": "repro.io.tables",
+    "write_csv": "repro.io.tables",
+    "write_markdown": "repro.io.tables",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.io' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return __all__

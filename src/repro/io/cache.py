@@ -34,9 +34,11 @@ mount) is disabled with a logged warning instead of sinking the run.
 
 from __future__ import annotations
 
-import hashlib
+import itertools
 import json
 import logging
+import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -44,6 +46,7 @@ from typing import Iterable, List, Optional, Union
 
 from repro.cat.measurement import MeasurementSet
 from repro.events.model import RawEvent
+from repro.io.digest import file_digest, json_digest, sha256_hex
 from repro.io.store import load_measurements, save_measurements
 from repro.obs import get_tracer
 
@@ -64,13 +67,13 @@ def event_set_digest(events: Iterable[RawEvent]) -> str:
     Two registries with the same names but different response weights or
     noise models would measure differently; both are folded into the hash.
     """
-    h = hashlib.sha256()
+    chunks: List[Union[str, bytes]] = []
     for event in events:
-        h.update(event.full_name.encode())
-        h.update(repr(sorted(event.response.items())).encode())
-        h.update(repr(event.noise).encode())
-        h.update(b"\x00")
-    return h.hexdigest()
+        chunks.append(event.full_name)
+        chunks.append(repr(sorted(event.response.items())))
+        chunks.append(repr(event.noise))
+        chunks.append(b"\x00")
+    return sha256_hex(*chunks)
 
 
 def _node_fingerprint(node) -> dict:
@@ -113,8 +116,7 @@ def measurement_cache_key(
         "events": event_set_digest(events),
         "repetitions": repetitions,
     }
-    blob = json.dumps(payload, sort_keys=True).encode()
-    return hashlib.sha256(blob).hexdigest()
+    return json_digest(payload)
 
 
 @dataclass
@@ -158,6 +160,10 @@ class MeasurementCache:
         self.root = Path(root) if root is not None else None
         self.max_memory_entries = max_memory_entries
         self._memory: "OrderedDict[str, MeasurementSet]" = OrderedDict()
+        # Guards the in-memory LRU: the metric service shares one cache
+        # instance across its worker threads, and OrderedDict mutation is
+        # not atomic under concurrent move_to_end/popitem.
+        self._memory_lock = threading.Lock()
         self.stats = CacheStats()
         # Keys of entries that failed verification and were set aside;
         # the robustness report reconciles injected cache corruption
@@ -181,7 +187,7 @@ class MeasurementCache:
     @classmethod
     def _digests(cls, path: Path) -> dict:
         return {
-            f.suffix.lstrip("."): hashlib.sha256(f.read_bytes()).hexdigest()
+            f.suffix.lstrip("."): file_digest(f)
             for f in cls._entry_files(path)
             if f.exists()
         }
@@ -207,9 +213,13 @@ class MeasurementCache:
         quarantine_dir.mkdir(parents=True, exist_ok=True)
         moved = []
         for f in self._entry_files(path) + [self._checksum_path(path)]:
-            if f.exists():
+            try:
                 f.replace(quarantine_dir / f.name)
                 moved.append(f.name)
+            except FileNotFoundError:
+                # Absent file, or a racing reader quarantined it first —
+                # either way the poison is out of the entry path.
+                continue
         self.quarantined.append(key)
         self.stats.corrupt += 1
         get_tracer().incr("cache.corrupt")
@@ -223,10 +233,11 @@ class MeasurementCache:
         )
 
     def _remember(self, key: str, measurement: MeasurementSet) -> None:
-        self._memory[key] = measurement
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
+        with self._memory_lock:
+            self._memory[key] = measurement
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[MeasurementSet]:
@@ -238,9 +249,11 @@ class MeasurementCache:
         :mod:`repro.guard.validate`); a corrupt entry is quarantined and
         reported as a miss.
         """
-        cached = self._memory.get(key)
+        with self._memory_lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
         if cached is not None:
-            self._memory.move_to_end(key)
             self.stats.memory_hits += 1
             get_tracer().incr("cache.memory_hits")
             return cached
@@ -261,7 +274,16 @@ class MeasurementCache:
         return None
 
     def put(self, key: str, measurement: MeasurementSet) -> None:
-        """Store a measurement under its content address."""
+        """Store a measurement under its content address.
+
+        Disk publication is atomic and tolerates racing writers: the
+        entry is staged in a private scratch directory and each file is
+        ``os.replace``d into place, ``.npz`` last — its existence gates
+        reads, so no reader ever observes a partially written entry.
+        Because keys are content addresses, two writers racing on the
+        same key are writing identical bytes and the last rename simply
+        re-publishes the same content.
+        """
         self._remember(key, measurement)
         self.stats.stores += 1
         get_tracer().incr("cache.stores")
@@ -269,12 +291,7 @@ class MeasurementCache:
         if path is None:
             return
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            save_measurements(measurement, path)
-            checksums = self._digests(path)
-            tmp = self._checksum_path(path).with_suffix(".sha256.tmp")
-            tmp.write_text(json.dumps(checksums, sort_keys=True))
-            tmp.replace(self._checksum_path(path))
+            self._publish_entry(key, path, measurement)
         except (OSError, PermissionError) as exc:
             # A disk layer that cannot be written must not sink the run;
             # keep the in-memory layer and stop touching the disk.
@@ -286,6 +303,41 @@ class MeasurementCache:
                 exc,
             )
             self.root = None
+
+    _scratch_seq = itertools.count()
+
+    def _publish_entry(
+        self, key: str, path: Path, measurement: MeasurementSet
+    ) -> None:
+        """Stage the entry's three files privately, then rename them into
+        place (json, checksum, then npz — the read gate — last)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = self.root / "tmp" / (
+            f"{key[:8]}-{os.getpid()}-{threading.get_ident()}-"
+            f"{next(self._scratch_seq)}"
+        )
+        scratch.mkdir(parents=True, exist_ok=True)
+        try:
+            staged = scratch / key
+            save_measurements(measurement, staged)
+            checksums = self._digests(staged)
+            self._checksum_path(staged).write_text(
+                json.dumps(checksums, sort_keys=True)
+            )
+            for suffix in (".json", ".sha256", ".npz"):
+                os.replace(
+                    staged.with_suffix(suffix), path.with_suffix(suffix)
+                )
+        finally:
+            for leftover in scratch.glob("*"):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+            try:
+                scratch.rmdir()
+            except OSError:
+                pass
 
     def verify_all(self) -> List[str]:
         """Verify every on-disk entry; quarantine the corrupt ones and

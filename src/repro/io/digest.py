@@ -1,0 +1,62 @@
+"""Shared SHA-256 digest helpers: one hashing idiom for the whole repo.
+
+Content addressing shows up everywhere reproducibility does — the
+measurement cache keys entries by configuration, the sweep engine
+fingerprints tasks and digests results, the tracer derives span ids, and
+the metric catalog (:mod:`repro.serve`) versions definitions by content.
+Before this module each site hand-rolled its ``hashlib.sha256`` recipe;
+now they all share three helpers with one canonicalization rule each:
+
+* :func:`sha256_hex` — digest a sequence of byte/str chunks.  Chunks are
+  concatenated (``str`` encodes as UTF-8), so incremental ``update``
+  loops and one-shot calls agree.
+* :func:`json_digest` — digest a JSON-serializable payload in canonical
+  form (:func:`canonical_json`: sorted keys, default separators).  The
+  measurement-cache keys are this digest of the full measurement
+  configuration.
+* :func:`file_digest` — digest a file's bytes (cache-entry checksums).
+
+Every helper takes ``length`` to truncate the hex form; ``None`` keeps
+all 64 characters.  Truncation lengths are part of on-disk formats
+(checkpoint names, span ids), so call sites pick them explicitly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+__all__ = ["canonical_json", "file_digest", "json_digest", "sha256_hex"]
+
+
+def sha256_hex(*chunks: Union[str, bytes], length: Optional[int] = None) -> str:
+    """Hex SHA-256 of the concatenated ``chunks`` (str encodes as UTF-8).
+
+    Equivalent to a sequential ``h.update`` loop over the chunks, so
+    callers migrating from hand-rolled incremental hashing keep their
+    digests bit-for-bit.
+    """
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk.encode() if isinstance(chunk, str) else chunk)
+    digest = h.hexdigest()
+    return digest if length is None else digest[:length]
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical JSON form digests are computed over: sorted keys,
+    default separators.  Changing this changes every key derived from
+    :func:`json_digest` — never alter it without a migration story."""
+    return json.dumps(payload, sort_keys=True)
+
+
+def json_digest(payload: Any, length: Optional[int] = None) -> str:
+    """Hex SHA-256 of ``payload``'s canonical JSON form."""
+    return sha256_hex(canonical_json(payload), length=length)
+
+
+def file_digest(path: Union[str, Path], length: Optional[int] = None) -> str:
+    """Hex SHA-256 of a file's content."""
+    return sha256_hex(Path(path).read_bytes(), length=length)

@@ -35,7 +35,6 @@ records the coordinator's spans without data races in the workers.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import threading
 import time
@@ -73,8 +72,9 @@ def span_id(seed: int, path: str, occurrence: int) -> str:
     No wall-clock, no object identity — two runs of the same
     configuration assign the same id to the same span.
     """
-    blob = f"{seed}:{path}#{occurrence}".encode()
-    return hashlib.sha256(blob).hexdigest()[:12]
+    from repro.io.digest import sha256_hex
+
+    return sha256_hex(f"{seed}:{path}#{occurrence}", length=12)
 
 
 @dataclass

@@ -1,0 +1,54 @@
+"""repro.serve — versioned metric catalog + async batching metric service.
+
+Two layers:
+
+* :mod:`repro.serve.catalog` — a content-addressed, versioned on-disk
+  store of served :class:`~repro.core.metrics.MetricDefinition` records
+  (coefficients bit-exact, trust certification, guard stamps, lineage).
+* :mod:`repro.serve.service` / :mod:`repro.serve.http` — an asyncio
+  service over the analysis pipeline with request coalescing, batched
+  dispatch, bounded-queue backpressure, and structured fault errors,
+  fronted by a small stdlib HTTP server.
+
+:mod:`repro.serve.client` provides the blocking :class:`CatalogClient`
+used by scripts and the CI smoke job.
+"""
+
+from repro.serve.catalog import (
+    CatalogDiff,
+    CatalogEntry,
+    MetricCatalogStore,
+    analysis_config_digest,
+    diff_entries,
+    entries_from_result,
+    metric_slug,
+)
+from repro.serve.client import CatalogClient
+from repro.serve.http import HttpMetricServer, run_server
+from repro.serve.service import (
+    AnalysisRequest,
+    MetricService,
+    ServedMetric,
+    ServiceBusy,
+    ServiceError,
+    ServiceStats,
+)
+
+__all__ = [
+    "AnalysisRequest",
+    "CatalogClient",
+    "CatalogDiff",
+    "CatalogEntry",
+    "HttpMetricServer",
+    "MetricCatalogStore",
+    "MetricService",
+    "ServedMetric",
+    "ServiceBusy",
+    "ServiceError",
+    "ServiceStats",
+    "analysis_config_digest",
+    "diff_entries",
+    "entries_from_result",
+    "metric_slug",
+    "run_server",
+]

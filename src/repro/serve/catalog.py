@@ -1,0 +1,624 @@
+"""The versioned, content-addressed metric catalog.
+
+The pipeline produces trust-stamped :class:`~repro.core.metrics.MetricDefinition`
+objects, but until now every consumer had to re-run the whole analysis to
+get one.  :class:`MetricCatalogStore` makes definitions durable: each is
+persisted under the key ``(architecture, metric, config digest)`` with an
+append-only version history, so a served definition can be looked up,
+compared across catalog revisions, and — crucially — trusted, because
+everything that certifies it travels with it:
+
+* the coefficient vector, **bit-exact** (hex of the little-endian float64
+  bytes; the JSON float list is a human-readable mirror),
+* the Equation-5 backward error and composability verdict,
+* the :class:`~repro.guard.certify.TrustScore` stamp and every guard rung
+  that fired during selection and composition,
+* lineage: the seed, the pipeline-config repr and digest, the event-set
+  digest of the registry the measurement ran over, and (when the run was
+  traced) a digest of its :mod:`repro.obs` trace.
+
+Storage layout (all writes atomic: staged file + ``os.replace``)::
+
+    root/
+      log.jsonl                                # append-only version log
+      entries/<arch>/<metric-slug>/<config-digest>/v0001.json
+
+Invalidation: the config digest is part of the key, so a changed
+threshold simply misses.  A changed *event registry* would silently serve
+stale definitions — so every entry records its ``events_digest`` and the
+read APIs take the current registry digest; a mismatch is reported as a
+miss (and counted on the ``catalog.invalidated`` counter) instead of a
+hit.  History is never destroyed: invalidation is a read-side decision,
+the version log keeps the full record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.guard.certify import TrustScore
+from repro.guard.health import NumericalHealth
+from repro.io.digest import json_digest, sha256_hex
+from repro.obs import get_tracer
+
+if TYPE_CHECKING:
+    from repro.core.metrics import MetricDefinition
+    from repro.core.pipeline import PipelineConfig, PipelineResult
+
+__all__ = [
+    "CatalogDiff",
+    "CatalogEntry",
+    "MetricCatalogStore",
+    "analysis_config_digest",
+    "entries_from_result",
+    "metric_slug",
+]
+
+#: On-disk payload format version (bumped on incompatible changes).
+FORMAT_VERSION = 1
+
+
+def metric_slug(metric: str) -> str:
+    """Filesystem-safe directory name for a metric: readable stem plus a
+    short content hash (names with spaces/punctuation stay unambiguous)."""
+    stem = re.sub(r"[^a-z0-9]+", "-", metric.lower()).strip("-") or "metric"
+    return f"{stem[:48]}-{sha256_hex(metric, length=8)}"
+
+
+def analysis_config_digest(
+    domain: str, seed: int, config: "PipelineConfig"
+) -> str:
+    """The catalog key's third coordinate: everything besides architecture
+    and metric name that determines a definition — the domain, the node
+    seed, and every pipeline threshold (via ``PipelineConfig.digest``)."""
+    return json_digest(
+        {"domain": domain, "seed": seed, "config": config.digest()}, length=16
+    )
+
+
+def _coeffs_to_hex(coefficients: np.ndarray) -> str:
+    return np.asarray(coefficients, dtype="<f8").tobytes().hex()
+
+
+def _coeffs_from_hex(blob: str) -> np.ndarray:
+    return np.frombuffer(bytes.fromhex(blob), dtype="<f8").copy()
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One persisted metric definition with its full trust lineage."""
+
+    arch: str
+    domain: str
+    metric: str
+    seed: int
+    config_digest: str
+    config_repr: str
+    events_digest: str
+    event_names: Tuple[str, ...]
+    coefficients_hex: str
+    error: float
+    composable: bool
+    degraded: bool = False
+    #: Conditioning sentinel record of this metric's composition solve
+    #: (carries the guard rungs that fired).
+    health: Optional[NumericalHealth] = None
+    #: Fallback rungs fired by the shared QRCP selection stage.
+    qrcp_guards: Tuple[str, ...] = ()
+    trust: Optional[TrustScore] = None
+    #: Section VI-D snapped terms, for display and preset export.
+    rounded_terms: Dict[str, float] = field(default_factory=dict)
+    #: sha256 of the run's canonical trace JSONL (None for untraced runs).
+    trace_digest: Optional[str] = None
+    #: Assigned by the store on ``put`` (0 = not yet stored).
+    version: int = 0
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """The bit-exact coefficient vector."""
+        return _coeffs_from_hex(self.coefficients_hex)
+
+    @property
+    def guards_fired(self) -> Tuple[str, ...]:
+        """Composition-solve guard stamps (empty on a healthy fit)."""
+        return self.health.guards_fired if self.health is not None else ()
+
+    def content_digest(self) -> str:
+        """Content address over everything except the assigned version
+        and the trace digest — trace exports carry wall-clock stage
+        timings, so two bit-identical analyses trace differently; lineage
+        must not defeat dedup."""
+        payload = self.to_payload()
+        payload.pop("version")
+        payload.pop("trace_digest", None)
+        payload.pop("content_digest", None)
+        return json_digest(payload, length=16)
+
+    def definition(self) -> "MetricDefinition":
+        """Reconstruct the definition, coefficient bytes and trust stamp
+        bit-identical to the pipeline's output."""
+        from repro.core.metrics import MetricDefinition
+
+        return MetricDefinition(
+            metric=self.metric,
+            event_names=tuple(self.event_names),
+            coefficients=self.coefficients,
+            error=self.error,
+            degraded=self.degraded,
+            health=self.health,
+            trust=self.trust,
+        )
+
+    # -- payload -------------------------------------------------------
+    def to_payload(self) -> dict:
+        trust = None
+        if self.trust is not None:
+            trust = {
+                "level": self.trust.level,
+                "reasons": list(self.trust.reasons),
+                "coefficient_spread": self.trust.coefficient_spread,
+                "error_spread": self.trust.error_spread,
+                "n_holdouts": self.trust.n_holdouts,
+                "n_skipped": self.trust.n_skipped,
+                "suspect_events": list(self.trust.suspect_events),
+            }
+        health = None
+        if self.health is not None:
+            health = {
+                "condition_estimate": self.health.condition_estimate,
+                "rank_gap": self.health.rank_gap,
+                "pivot_growth": self.health.pivot_growth,
+                "residual_bound": self.health.residual_bound,
+                "refinement_iterations": self.health.refinement_iterations,
+                "guards_fired": list(self.health.guards_fired),
+                "suspect_columns": list(self.health.suspect_columns),
+            }
+        return {
+            "format": FORMAT_VERSION,
+            "version": self.version,
+            "arch": self.arch,
+            "domain": self.domain,
+            "metric": self.metric,
+            "seed": self.seed,
+            "config_digest": self.config_digest,
+            "config": self.config_repr,
+            "events_digest": self.events_digest,
+            "event_names": list(self.event_names),
+            "coefficients_hex": self.coefficients_hex,
+            "coefficients": [float(c) for c in self.coefficients],
+            "error": self.error,
+            "composable": self.composable,
+            "degraded": self.degraded,
+            "health": health,
+            "qrcp_guards": list(self.qrcp_guards),
+            "trust": trust,
+            "rounded_terms": dict(self.rounded_terms),
+            "trace_digest": self.trace_digest,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CatalogEntry":
+        fmt = payload.get("format")
+        if fmt != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported catalog entry format {fmt!r} "
+                f"(this reader speaks {FORMAT_VERSION})"
+            )
+        trust = None
+        if payload.get("trust") is not None:
+            t = payload["trust"]
+            trust = TrustScore(
+                level=t["level"],
+                reasons=tuple(t["reasons"]),
+                coefficient_spread=t["coefficient_spread"],
+                error_spread=t["error_spread"],
+                n_holdouts=t["n_holdouts"],
+                n_skipped=t["n_skipped"],
+                suspect_events=tuple(t["suspect_events"]),
+            )
+        health = None
+        if payload.get("health") is not None:
+            h = payload["health"]
+            health = NumericalHealth(
+                condition_estimate=h["condition_estimate"],
+                rank_gap=h["rank_gap"],
+                pivot_growth=h["pivot_growth"],
+                residual_bound=h["residual_bound"],
+                refinement_iterations=h["refinement_iterations"],
+                guards_fired=tuple(h["guards_fired"]),
+                suspect_columns=tuple(h["suspect_columns"]),
+            )
+        return cls(
+            arch=payload["arch"],
+            domain=payload["domain"],
+            metric=payload["metric"],
+            seed=payload["seed"],
+            config_digest=payload["config_digest"],
+            config_repr=payload["config"],
+            events_digest=payload["events_digest"],
+            event_names=tuple(payload["event_names"]),
+            coefficients_hex=payload["coefficients_hex"],
+            error=payload["error"],
+            composable=payload["composable"],
+            degraded=payload.get("degraded", False),
+            health=health,
+            qrcp_guards=tuple(payload.get("qrcp_guards", ())),
+            trust=trust,
+            rounded_terms=dict(payload.get("rounded_terms", {})),
+            trace_digest=payload.get("trace_digest"),
+            version=payload["version"],
+        )
+
+
+def entries_from_result(
+    result: "PipelineResult",
+    arch: str,
+    seed: int,
+    events_digest: str,
+    trace_digest: Optional[str] = None,
+) -> List[CatalogEntry]:
+    """Catalog entries for every metric a pipeline run composed."""
+    config_digest = analysis_config_digest(result.domain, seed, result.config)
+    qrcp_guards = (
+        tuple(result.qrcp.health.guards_fired)
+        if result.qrcp.health is not None
+        else ()
+    )
+    entries = []
+    for name, definition in result.metrics.items():
+        rounded = result.rounded_metrics.get(name)
+        entries.append(
+            CatalogEntry(
+                arch=arch,
+                domain=result.domain,
+                metric=name,
+                seed=seed,
+                config_digest=config_digest,
+                config_repr=repr(result.config),
+                events_digest=events_digest,
+                event_names=tuple(definition.event_names),
+                coefficients_hex=_coeffs_to_hex(definition.coefficients),
+                error=float(definition.error),
+                composable=definition.composable,
+                degraded=definition.degraded,
+                health=definition.health,
+                qrcp_guards=qrcp_guards,
+                trust=definition.trust,
+                rounded_terms=rounded.terms() if rounded is not None else {},
+                trace_digest=trace_digest,
+            )
+        )
+    return entries
+
+
+@dataclass
+class CatalogDiff:
+    """Structured difference between two versions of one definition."""
+
+    metric: str
+    version_a: int
+    version_b: int
+    added_terms: Dict[str, float] = field(default_factory=dict)
+    removed_terms: Dict[str, float] = field(default_factory=dict)
+    changed_terms: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    error_a: float = 0.0
+    error_b: float = 0.0
+    trust_a: Optional[str] = None
+    trust_b: Optional[str] = None
+    guards_a: Tuple[str, ...] = ()
+    guards_b: Tuple[str, ...] = ()
+    events_digest_changed: bool = False
+
+    @property
+    def identical(self) -> bool:
+        return not (
+            self.added_terms
+            or self.removed_terms
+            or self.changed_terms
+            or self.error_a != self.error_b
+            or self.trust_a != self.trust_b
+            or self.guards_a != self.guards_b
+            or self.events_digest_changed
+        )
+
+    def render(self) -> str:
+        head = f"{self.metric}: v{self.version_a} -> v{self.version_b}"
+        if self.identical:
+            return f"{head}: identical"
+        lines = [head]
+        for event in sorted(self.added_terms):
+            lines.append(f"  + {self.added_terms[event]:+g} x {event}")
+        for event in sorted(self.removed_terms):
+            lines.append(f"  - {self.removed_terms[event]:+g} x {event}")
+        for event in sorted(self.changed_terms):
+            old, new = self.changed_terms[event]
+            # Shortest-round-trip floats: a bit-level drift must not
+            # render as "1 -> 1".
+            lines.append(f"  ~ {event}: {old!r} -> {new!r}")
+        if self.error_a != self.error_b:
+            lines.append(f"  error: {self.error_a:.6e} -> {self.error_b:.6e}")
+        if self.trust_a != self.trust_b:
+            lines.append(f"  trust: {self.trust_a} -> {self.trust_b}")
+        if self.guards_a != self.guards_b:
+            lines.append(
+                f"  guards: {list(self.guards_a)} -> {list(self.guards_b)}"
+            )
+        if self.events_digest_changed:
+            lines.append("  event registry changed between versions")
+        return "\n".join(lines)
+
+
+def diff_entries(a: CatalogEntry, b: CatalogEntry) -> CatalogDiff:
+    """Structured diff of two entries' definitions (raw coefficients,
+    not the rounded display terms — bit drift must be visible)."""
+    terms_a = {
+        e: float(c) for e, c in zip(a.event_names, a.coefficients) if c != 0.0
+    }
+    terms_b = {
+        e: float(c) for e, c in zip(b.event_names, b.coefficients) if c != 0.0
+    }
+    diff = CatalogDiff(
+        metric=b.metric,
+        version_a=a.version,
+        version_b=b.version,
+        error_a=a.error,
+        error_b=b.error,
+        trust_a=a.trust.level if a.trust is not None else None,
+        trust_b=b.trust.level if b.trust is not None else None,
+        guards_a=a.qrcp_guards + a.guards_fired,
+        guards_b=b.qrcp_guards + b.guards_fired,
+        events_digest_changed=a.events_digest != b.events_digest,
+    )
+    for event, coeff in terms_b.items():
+        if event not in terms_a:
+            diff.added_terms[event] = coeff
+        elif terms_a[event] != coeff:
+            diff.changed_terms[event] = (terms_a[event], coeff)
+    for event, coeff in terms_a.items():
+        if event not in terms_b:
+            diff.removed_terms[event] = coeff
+    return diff
+
+
+class MetricCatalogStore:
+    """On-disk versioned catalog of metric definitions.
+
+    Writes are atomic (staged file + ``os.replace``), version allocation
+    races are resolved with ``os.link``'s exclusive-create semantics, and
+    every successful ``put`` appends one line to the ``log.jsonl``
+    version log — the log is the catalog's audit trail and is never
+    rewritten.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._log_lock = threading.Lock()
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def log_path(self) -> Path:
+        return self.root / "log.jsonl"
+
+    def _entry_dir(self, arch: str, metric: str, config_digest: str) -> Path:
+        return self.root / "entries" / arch / metric_slug(metric) / config_digest
+
+    @staticmethod
+    def _version_path(entry_dir: Path, version: int) -> Path:
+        return entry_dir / f"v{version:04d}.json"
+
+    @staticmethod
+    def _versions_in(entry_dir: Path) -> List[int]:
+        if not entry_dir.is_dir():
+            return []
+        versions = []
+        for path in entry_dir.glob("v*.json"):
+            try:
+                versions.append(int(path.stem[1:]))
+            except ValueError:
+                continue
+        return sorted(versions)
+
+    # -- writes --------------------------------------------------------
+    def put(self, entry: CatalogEntry) -> CatalogEntry:
+        """Persist ``entry`` as the next version of its key.
+
+        Idempotent on content: when the latest stored version already has
+        this entry's content digest, no new version is written and the
+        existing entry is returned (counted on ``catalog.dedup``) —
+        re-serving an unchanged analysis must not grow the history.
+        """
+        entry_dir = self._entry_dir(entry.arch, entry.metric, entry.config_digest)
+        entry_dir.mkdir(parents=True, exist_ok=True)
+        content = entry.content_digest()
+        while True:
+            versions = self._versions_in(entry_dir)
+            if versions:
+                latest = self._load(self._version_path(entry_dir, versions[-1]))
+                if latest is not None and latest.content_digest() == content:
+                    get_tracer().incr("catalog.dedup")
+                    return latest
+            version = (versions[-1] + 1) if versions else 1
+            stored = dataclasses.replace(entry, version=version)
+            final = self._version_path(entry_dir, version)
+            staged = entry_dir / f".v{version:04d}.{os.getpid()}.staged"
+            staged.write_text(
+                json.dumps(stored.to_payload(), indent=2, sort_keys=True)
+            )
+            try:
+                # Exclusive publish: a racing writer that claimed this
+                # version number first wins; we retry with the next one.
+                os.link(staged, final)
+            except FileExistsError:
+                staged.unlink()
+                continue
+            except OSError:
+                # Filesystem without hard links: fall back to an atomic,
+                # last-writer-wins rename (single-writer deployments).
+                os.replace(staged, final)
+            else:
+                staged.unlink()
+            self._append_log(stored, content)
+            get_tracer().incr("catalog.stores")
+            return stored
+
+    def _append_log(self, entry: CatalogEntry, content_digest: str) -> None:
+        line = json.dumps(
+            {
+                "op": "put",
+                "arch": entry.arch,
+                "metric": entry.metric,
+                "config_digest": entry.config_digest,
+                "version": entry.version,
+                "content_digest": content_digest,
+                "events_digest": entry.events_digest,
+            },
+            sort_keys=True,
+        )
+        with self._log_lock:
+            with self.log_path.open("a") as fh:
+                fh.write(line + "\n")
+
+    # -- reads ---------------------------------------------------------
+    @staticmethod
+    def _load(path: Path) -> Optional[CatalogEntry]:
+        try:
+            return CatalogEntry.from_payload(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def get(
+        self,
+        arch: str,
+        metric: str,
+        config_digest: str,
+        version: Optional[int] = None,
+        events_digest: Optional[str] = None,
+    ) -> Optional[CatalogEntry]:
+        """One stored version (the latest when ``version`` is None).
+
+        With ``events_digest``, an entry recorded against a *different*
+        event registry is stale: it is reported as a miss and counted on
+        ``catalog.invalidated`` — serving a definition whose raw events
+        no longer exist (or measure differently) would be silent poison.
+        """
+        entry_dir = self._entry_dir(arch, metric, config_digest)
+        if version is None:
+            versions = self._versions_in(entry_dir)
+            if not versions:
+                get_tracer().incr("catalog.misses")
+                return None
+            version = versions[-1]
+        entry = self._load(self._version_path(entry_dir, version))
+        if entry is None:
+            get_tracer().incr("catalog.misses")
+            return None
+        if events_digest is not None and entry.events_digest != events_digest:
+            get_tracer().incr("catalog.invalidated")
+            return None
+        get_tracer().incr("catalog.hits")
+        return entry
+
+    def latest(
+        self,
+        arch: str,
+        metric: str,
+        config_digest: str,
+        events_digest: Optional[str] = None,
+    ) -> Optional[CatalogEntry]:
+        """The newest stored version of a key (staleness-checked)."""
+        return self.get(
+            arch, metric, config_digest, events_digest=events_digest
+        )
+
+    def history(
+        self, arch: str, metric: str, config_digest: str
+    ) -> List[CatalogEntry]:
+        """Every stored version, oldest first."""
+        entry_dir = self._entry_dir(arch, metric, config_digest)
+        entries = []
+        for version in self._versions_in(entry_dir):
+            entry = self._load(self._version_path(entry_dir, version))
+            if entry is not None:
+                entries.append(entry)
+        return entries
+
+    def diff(
+        self,
+        arch: str,
+        metric: str,
+        config_digest: str,
+        version_a: int,
+        version_b: int,
+    ) -> CatalogDiff:
+        """Structured diff between two stored versions of one key."""
+        entry_dir = self._entry_dir(arch, metric, config_digest)
+        a = self._load(self._version_path(entry_dir, version_a))
+        b = self._load(self._version_path(entry_dir, version_b))
+        if a is None or b is None:
+            missing = version_a if a is None else version_b
+            raise KeyError(
+                f"no version {missing} of ({arch!r}, {metric!r}, "
+                f"{config_digest}) in the catalog"
+            )
+        return diff_entries(a, b)
+
+    def list_entries(self, arch: Optional[str] = None) -> List[dict]:
+        """Summary rows for every (arch, metric, config digest) key."""
+        entries_root = self.root / "entries"
+        if not entries_root.is_dir():
+            return []
+        rows = []
+        for arch_dir in sorted(entries_root.iterdir()):
+            if arch is not None and arch_dir.name != arch:
+                continue
+            for slug_dir in sorted(p for p in arch_dir.iterdir() if p.is_dir()):
+                for digest_dir in sorted(
+                    p for p in slug_dir.iterdir() if p.is_dir()
+                ):
+                    versions = self._versions_in(digest_dir)
+                    if not versions:
+                        continue
+                    latest = self._load(
+                        self._version_path(digest_dir, versions[-1])
+                    )
+                    if latest is None:
+                        continue
+                    rows.append(
+                        {
+                            "arch": latest.arch,
+                            "domain": latest.domain,
+                            "metric": latest.metric,
+                            "config_digest": latest.config_digest,
+                            "versions": len(versions),
+                            "latest_version": latest.version,
+                            "error": latest.error,
+                            "composable": latest.composable,
+                            "trust": (
+                                latest.trust.level
+                                if latest.trust is not None
+                                else None
+                            ),
+                            "degraded": latest.degraded,
+                        }
+                    )
+        return rows
+
+    def log_records(self) -> List[dict]:
+        """The parsed append-only version log, oldest first."""
+        if not self.log_path.exists():
+            return []
+        records = []
+        for line in self.log_path.read_text().splitlines():
+            if line.strip():
+                records.append(json.loads(line))
+        return records

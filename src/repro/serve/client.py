@@ -1,0 +1,114 @@
+"""Blocking client for the metric service.
+
+A thin :mod:`http.client` wrapper for scripts, tests, and the CI smoke
+job — no asyncio required on the calling side.  Non-200 responses raise
+:class:`~repro.serve.service.ServiceError` (or its
+:class:`~repro.serve.service.ServiceBusy` subclass for 429) carrying the
+server's JSON payload, so callers see the same structured errors the
+async API raises.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional
+from urllib.parse import quote, urlencode
+
+from repro.serve.service import ServiceBusy, ServiceError
+
+__all__ = ["CatalogClient"]
+
+
+class CatalogClient:
+    """Blocking HTTP client for one :class:`HttpMetricServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8752, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode() or "{}")
+            if response.status == 429:
+                raise ServiceBusy(int(data.get("queue_limit", 0)) or 1)
+            if response.status != 200:
+                raise ServiceError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def ready(self) -> bool:
+        try:
+            return bool(self._request("GET", "/readyz").get("ready"))
+        except ServiceError as exc:
+            if exc.status == 503:
+                return False
+            raise
+
+    def metric(
+        self,
+        system: str,
+        domain: str,
+        metric: str,
+        seed: int = 2024,
+        faults: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """One served metric definition payload (raises on 4xx/5xx)."""
+        query: Dict[str, Any] = {"seed": seed}
+        if faults is not None:
+            query["faults"] = faults
+        path = (
+            f"/v1/metric/{quote(system, safe='')}/{quote(domain, safe='')}/"
+            f"{quote(metric, safe='')}?{urlencode(query)}"
+        )
+        return self._request("GET", path)
+
+    def analyze(
+        self,
+        system: str,
+        domain: str,
+        seed: int = 2024,
+        faults: Optional[str] = None,
+    ) -> Dict[str, Dict[str, Any]]:
+        """Every metric of a domain; returns ``{metric: payload}``."""
+        body: Dict[str, Any] = {"system": system, "domain": domain, "seed": seed}
+        if faults is not None:
+            body["faults"] = faults
+        return self._request("POST", "/v1/analyze", body=body)["metrics"]
+
+    def catalog_list(self, arch: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = "/v1/catalog"
+        if arch is not None:
+            path += "?" + urlencode({"arch": arch})
+        return self._request("GET", path)["entries"]
+
+    def catalog_entry(
+        self,
+        arch: str,
+        metric: str,
+        digest: Optional[str] = None,
+        version: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        query: Dict[str, Any] = {}
+        if digest is not None:
+            query["digest"] = digest
+        if version is not None:
+            query["version"] = version
+        path = f"/v1/catalog/{quote(arch, safe='')}/{quote(metric, safe='')}"
+        if query:
+            path += "?" + urlencode(query)
+        return self._request("GET", path)

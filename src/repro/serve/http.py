@@ -1,0 +1,279 @@
+"""Minimal stdlib HTTP front-end for the metric service.
+
+A deliberately small HTTP/1.0 server over ``asyncio`` streams — no
+framework, no dependency — exposing the service as JSON endpoints:
+
+====================================================  =====================
+``GET /healthz``                                      liveness: stats,
+                                                      queue depth, obs
+                                                      counters (always 200)
+``GET /readyz``                                       readiness (200/503)
+``GET /v1/metric/<system>/<domain>/<metric>``         one served definition
+``POST /v1/analyze``                                  every metric of a
+                                                      domain (JSON body:
+                                                      system, domain,
+                                                      seed, faults)
+``GET /v1/catalog``                                   catalog summary rows
+``GET /v1/catalog/<arch>/<metric>``                   stored entry /
+                                                      history / diff
+====================================================  =====================
+
+``/v1/metric`` takes ``?seed=`` and ``?faults=`` query parameters;
+``/v1/catalog/...`` takes ``?digest=`` (required when several config
+digests exist), ``?version=``, ``?history=1``, and ``?diff=A..B``.
+Metric segments are URL-encoded (metric names contain spaces).
+
+Error envelope: every non-200 response is ``{"error": ..., ...}`` with
+the HTTP status carrying the class — 400 validation, 404 unknown, 429
+backpressure, 500 failed analysis, 503 not ready.  Connections are
+closed after each response (HTTP/1.0 semantics): the clients this serves
+are short-lived CLI/automation calls, not browsers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.guard.validate import ValidationError
+from repro.serve.service import MetricService, ServiceError
+
+__all__ = ["HttpMetricServer", "run_server"]
+
+logger = logging.getLogger(__name__)
+
+_MAX_REQUEST_BYTES = 1 << 20  # 1 MiB: analysis requests are tiny JSON
+
+
+def _response(status: int, payload: Dict[str, Any]) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    reason = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        429: "Too Many Requests",
+        500: "Internal Server Error",
+        503: "Service Unavailable",
+    }.get(status, "Error")
+    head = (
+        f"HTTP/1.0 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode()
+    return head + body
+
+
+class HttpMetricServer:
+    """One bound listener serving a :class:`MetricService` over HTTP."""
+
+    def __init__(
+        self,
+        service: MetricService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> int:
+        """Start the service and the listener; returns the bound port."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    # -- request handling ---------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            raw = await self._read_request(reader)
+            if raw is None:
+                return
+            method, target, body = raw
+            status, payload = await self._route(method, target, body)
+        except ServiceError as exc:
+            status, payload = exc.status, exc.payload
+        except (ValidationError, ValueError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 — a request must never kill the server
+            logger.exception("unhandled error serving a request")
+            status, payload = 500, {
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            }
+        try:
+            writer.write(_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if not line.strip():
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if content_length > _MAX_REQUEST_BYTES:
+            raise ServiceError(400, {"error": "request body too large"})
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+        return method, target, body
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        split = urlsplit(target)
+        path = [unquote(p) for p in split.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+
+        if path == ["healthz"]:
+            return 200, self.service.health()
+        if path == ["readyz"]:
+            if self.service.ready:
+                return 200, {"ready": True}
+            return 503, {"ready": False, "error": "service is not ready"}
+
+        if len(path) == 5 and path[:2] == ["v1", "metric"]:
+            if method != "GET":
+                return 405, {"error": "use GET for /v1/metric"}
+            _, _, system, domain, metric = path
+            served = await self.service.get_metric(
+                system,
+                domain,
+                metric,
+                seed=int(query.get("seed", 2024)),
+                faults=query.get("faults"),
+            )
+            return 200, served.to_payload()
+
+        if path == ["v1", "analyze"]:
+            if method != "POST":
+                return 405, {"error": "use POST for /v1/analyze"}
+            try:
+                request = json.loads(body.decode() or "{}")
+            except json.JSONDecodeError as exc:
+                return 400, {"error": f"request body is not JSON: {exc}"}
+            if "system" not in request or "domain" not in request:
+                return 400, {"error": "body must name 'system' and 'domain'"}
+            served = await self.service.analyze(
+                request["system"],
+                request["domain"],
+                seed=int(request.get("seed", 2024)),
+                faults=request.get("faults"),
+            )
+            return 200, {
+                "metrics": {
+                    name: metric.to_payload() for name, metric in served.items()
+                }
+            }
+
+        if path[:2] == ["v1", "catalog"]:
+            return self._route_catalog(path[2:], query)
+
+        return 404, {"error": f"no route for {method} {split.path}"}
+
+    def _route_catalog(
+        self, rest: list, query: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        store = self.service.store
+        if store is None:
+            return 404, {"error": "no catalog configured on this service"}
+        if not rest:
+            return 200, {"entries": store.list_entries(query.get("arch"))}
+        if len(rest) != 2:
+            return 404, {"error": "expected /v1/catalog/<arch>/<metric>"}
+        arch, metric = rest
+        digest = query.get("digest")
+        if digest is None:
+            digests = sorted(
+                {
+                    row["config_digest"]
+                    for row in store.list_entries(arch)
+                    if row["metric"] == metric
+                }
+            )
+            if not digests:
+                return 404, {
+                    "error": f"no catalog entry for ({arch!r}, {metric!r})"
+                }
+            if len(digests) > 1:
+                return 400, {
+                    "error": "several config digests stored for this metric; "
+                    "pick one with ?digest=",
+                    "digests": digests,
+                }
+            digest = digests[0]
+        if "diff" in query:
+            a, _, b = query["diff"].partition("..")
+            try:
+                diff = store.diff(arch, metric, digest, int(a), int(b))
+            except (KeyError, ValueError) as exc:
+                return 404, {"error": str(exc)}
+            return 200, {"diff": diff.render(), "identical": diff.identical}
+        if query.get("history"):
+            return 200, {
+                "history": [
+                    e.to_payload() for e in store.history(arch, metric, digest)
+                ]
+            }
+        version = int(query["version"]) if "version" in query else None
+        entry = store.get(arch, metric, digest, version=version)
+        if entry is None:
+            return 404, {
+                "error": f"no catalog entry for ({arch!r}, {metric!r}, "
+                f"{digest})"
+            }
+        return 200, entry.to_payload()
+
+
+async def run_server(
+    service: MetricService,
+    host: str = "127.0.0.1",
+    port: int = 8752,
+    ready_message=None,
+) -> None:
+    """Serve until cancelled (the CLI wraps this in ``asyncio.run`` and
+    translates Ctrl-C into a clean stop)."""
+    server = HttpMetricServer(service, host=host, port=port)
+    bound = await server.start()
+    if ready_message is not None:
+        ready_message(bound)
+    try:
+        await asyncio.Event().wait()  # sleep until cancelled
+    finally:
+        await server.stop()

@@ -1,0 +1,543 @@
+"""The asyncio metric service: coalesced, batched, backpressured analyses.
+
+One pipeline run produces every metric of a domain, takes a fraction of a
+second, and is fully determined by ``(system, domain, seed, config)`` —
+the perfect shape for a serving layer:
+
+* **Catalog first.**  A request whose definition is already in the
+  :class:`~repro.serve.catalog.MetricCatalogStore` (same key, same event
+  registry) is answered without touching the pipeline at all.
+* **Request coalescing.**  N concurrent requests for the same analysis
+  key share one in-flight pipeline run; the run's result resolves all of
+  them (``serve.coalesced`` counts the riders).
+* **Batched dispatch.**  Distinct queued requests are drained in batches
+  and handed to a bounded worker pool; each batch executes through the
+  :class:`~repro.core.sweep.SweepEngine` (serial inside the batch, so the
+  engine's retry/structured-error machinery is reused verbatim) with the
+  shared :class:`~repro.io.cache.MeasurementCache` underneath.
+* **Backpressure.**  The dispatch queue is bounded; when it is full a new
+  analysis is rejected immediately with :class:`ServiceBusy` (HTTP 429),
+  never queued invisibly — a heavily loaded service degrades loudly.
+* **Fault transparency.**  Requests may carry a :mod:`repro.faults` spec;
+  an injected worker crash surfaces as a structured error payload
+  (exception type, message, attempts), never a hang.  Faulted requests
+  bypass the catalog in both directions — diagnostics must not poison
+  the store.
+
+The service is transport-agnostic: :mod:`repro.serve.http` puts an
+asyncio stream server in front of it, and the test suite drives the
+async API directly.  All counters (``serve.*``, ``catalog.*``) are
+incremented on the event-loop thread, so an :func:`repro.obs.tracing`
+scope around the loop observes the whole service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.pipeline import DOMAIN_CONFIGS, PipelineConfig
+from repro.core.sweep import (
+    SWEEP_SYSTEMS,
+    SYSTEM_DOMAINS,
+    SweepEngine,
+    SweepOutcome,
+    SweepTask,
+)
+from repro.guard.validate import ValidationError, require_int
+from repro.obs import get_tracer
+from repro.serve.catalog import (
+    CatalogEntry,
+    MetricCatalogStore,
+    analysis_config_digest,
+    entries_from_result,
+)
+
+__all__ = [
+    "AnalysisRequest",
+    "MetricService",
+    "ServedMetric",
+    "ServiceBusy",
+    "ServiceError",
+    "ServiceStats",
+]
+
+
+class ServiceError(Exception):
+    """A structured service failure: HTTP-style status + JSON payload."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        self.status = status
+        self.payload = payload
+        super().__init__(payload.get("error", f"service error {status}"))
+
+
+class ServiceBusy(ServiceError):
+    """Backpressure rejection: the dispatch queue is full (HTTP 429)."""
+
+    def __init__(self, queue_limit: int):
+        super().__init__(
+            429,
+            {
+                "error": "service overloaded: dispatch queue is full",
+                "queue_limit": queue_limit,
+                "retry": True,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisRequest:
+    """One analysis the service can run: a (system, domain, seed) pipeline.
+
+    ``faults`` is an optional :func:`repro.faults.parse_fault_spec`
+    string; faulted requests are diagnostic probes and never read or
+    write the catalog.
+    """
+
+    system: str
+    domain: str
+    seed: int = 2024
+    faults: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.system not in SWEEP_SYSTEMS:
+            raise ValidationError(
+                f"AnalysisRequest: unknown system {self.system!r}; expected "
+                f"one of {sorted(SWEEP_SYSTEMS)}"
+            )
+        if self.domain not in SYSTEM_DOMAINS[self.system]:
+            raise ValidationError(
+                f"AnalysisRequest: domain {self.domain!r} is not measurable "
+                f"on {self.system!r} (has: {SYSTEM_DOMAINS[self.system]})"
+            )
+        require_int(self.seed, "seed", "AnalysisRequest", minimum=0)
+        if self.faults is not None:
+            from repro.faults import parse_fault_spec
+
+            parse_fault_spec(self.faults)  # raises ValueError on bad spec
+
+    @property
+    def key(self) -> Tuple[str, str, int, Optional[str]]:
+        """The coalescing key: requests with equal keys share one run."""
+        return (self.system, self.domain, self.seed, self.faults)
+
+
+@dataclass
+class ServiceStats:
+    """Liveness counters exposed on the health endpoint."""
+
+    requests: int = 0
+    coalesced: int = 0
+    catalog_hits: int = 0
+    pipeline_runs: int = 0
+    batches: int = 0
+    rejected: int = 0
+    errors: int = 0
+
+    def to_payload(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "catalog_hits": self.catalog_hits,
+            "pipeline_runs": self.pipeline_runs,
+            "batches": self.batches,
+            "rejected": self.rejected,
+            "errors": self.errors,
+        }
+
+
+@dataclass(frozen=True)
+class ServedMetric:
+    """One answer: the catalog entry plus where it came from."""
+
+    entry: CatalogEntry
+    source: str  # "catalog" | "pipeline"
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload = self.entry.to_payload()
+        payload["source"] = self.source
+        return payload
+
+
+@dataclass
+class _Job:
+    """One in-flight analysis: the request plus the future its riders await."""
+
+    request: AnalysisRequest
+    future: "asyncio.Future[Any]"
+    entries: Dict[str, CatalogEntry] = field(default_factory=dict)
+
+
+class MetricService:
+    """Coalescing, batching, backpressured front-end over the pipeline.
+
+    Parameters
+    ----------
+    store:
+        The metric catalog; ``None`` serves from fresh pipeline runs only.
+    workers:
+        Threads in the bounded worker pool (each executes one batch at a
+        time through a serial :class:`SweepEngine`).
+    queue_limit:
+        Dispatch-queue bound; a full queue rejects with
+        :class:`ServiceBusy` instead of queueing invisibly.
+    batch_size:
+        Maximum distinct analyses drained into one engine dispatch.
+    cache_dir:
+        Shared on-disk measurement cache for the pipeline runs (None
+        keeps caching in-memory per worker).
+    retries / task_timeout:
+        Passed to the :class:`SweepEngine` (bounded retry of crashed or
+        injected-fault attempts; per-task timeout needs a pool executor
+        and is therefore only honoured when ``engine_executor`` is not
+        serial).
+    runner:
+        Test seam: a callable ``(List[SweepTask]) -> List[SweepOutcome]``
+        replacing the engine dispatch.
+    """
+
+    def __init__(
+        self,
+        store: Optional[MetricCatalogStore] = None,
+        *,
+        workers: int = 2,
+        queue_limit: int = 16,
+        batch_size: int = 4,
+        cache_dir: Optional[str] = None,
+        retries: int = 1,
+        task_timeout: Optional[float] = None,
+        runner=None,
+    ):
+        require_int(workers, "workers", "MetricService", minimum=1)
+        require_int(queue_limit, "queue_limit", "MetricService", minimum=1)
+        require_int(batch_size, "batch_size", "MetricService", minimum=1)
+        self.store = store
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.batch_size = batch_size
+        self.cache_dir = cache_dir
+        self.retries = retries
+        self.task_timeout = task_timeout
+        self.stats = ServiceStats()
+        self._engine = SweepEngine(
+            executor="serial",
+            task_timeout=task_timeout,
+            max_retries=retries,
+        )
+        self._runner = runner if runner is not None else self._run_batch
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._queue: Optional["asyncio.Queue[_Job]"] = None
+        self._worker_tasks: List["asyncio.Task[None]"] = []
+        self._inflight: Dict[Tuple, _Job] = {}
+        # (system, seed) -> (arch name, event-set digest); nodes are
+        # deterministic, so this only needs to be computed once each.
+        self._node_info: Dict[Tuple[str, int], Tuple[str, str]] = {}
+        self._started = False
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the dispatch queue and worker tasks (idempotent)."""
+        if self._started:
+            return
+        self._queue = asyncio.Queue(maxsize=self.queue_limit)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.workers)
+        ]
+        self._started = True
+        self._stopping = False
+
+    async def stop(self) -> None:
+        """Cancel workers and resolve every pending request with a
+        structured shutdown error — a stopping service never hangs a
+        client."""
+        if not self._started:
+            return
+        self._stopping = True
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._worker_tasks = []
+        shutdown = ServiceError(503, {"error": "service shutting down"})
+        while self._queue is not None and not self._queue.empty():
+            job = self._queue.get_nowait()
+            self._resolve_error(job, shutdown)
+        for job in list(self._inflight.values()):
+            self._resolve_error(job, shutdown)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._started = False
+
+    @property
+    def ready(self) -> bool:
+        """Readiness: workers are up and the service is not draining."""
+        return self._started and not self._stopping
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness payload: stats, queue depth, and the ambient
+        :mod:`repro.obs` counter totals (non-empty when the service runs
+        inside a ``tracing`` scope)."""
+        return {
+            "status": "ok" if self.ready else "stopping",
+            "ready": self.ready,
+            "workers": self.workers,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "queue_limit": self.queue_limit,
+            "stats": self.stats.to_payload(),
+            "counters": dict(get_tracer().counters),
+            "catalog": self.store is not None,
+        }
+
+    # -- node identity -------------------------------------------------
+    def _node_identity(self, system: str, seed: int) -> Tuple[str, str]:
+        """(architecture name, event-set digest) for a system+seed."""
+        key = (system, seed)
+        info = self._node_info.get(key)
+        if info is None:
+            from repro.io.cache import event_set_digest
+
+            node = SWEEP_SYSTEMS[system](seed=seed)
+            info = (node.name, event_set_digest(node.events))
+            self._node_info[key] = info
+        return info
+
+    def _config_for(self, domain: str) -> PipelineConfig:
+        return replace(DOMAIN_CONFIGS[domain], use_measurement_cache=True)
+
+    # -- request paths -------------------------------------------------
+    async def get_metric(
+        self,
+        system: str,
+        domain: str,
+        metric: str,
+        seed: int = 2024,
+        faults: Optional[str] = None,
+    ) -> ServedMetric:
+        """Serve one metric definition, from the catalog when possible.
+
+        Raises :class:`ServiceBusy` under backpressure and
+        :class:`ServiceError` for unknown metrics or failed analyses.
+        """
+        entries = await self._serve(
+            AnalysisRequest(system=system, domain=domain, seed=seed, faults=faults)
+        )
+        served = entries.get(metric)
+        if served is None:
+            raise ServiceError(
+                404,
+                {
+                    "error": f"metric {metric!r} is not composed by domain "
+                    f"{domain!r}",
+                    "available": sorted(entries),
+                },
+            )
+        return served
+
+    async def analyze(
+        self,
+        system: str,
+        domain: str,
+        seed: int = 2024,
+        faults: Optional[str] = None,
+    ) -> Dict[str, ServedMetric]:
+        """Serve every metric of a domain (one pipeline run at most)."""
+        return await self._serve(
+            AnalysisRequest(system=system, domain=domain, seed=seed, faults=faults)
+        )
+
+    async def _serve(self, request: AnalysisRequest) -> Dict[str, ServedMetric]:
+        if not self._started:
+            raise ServiceError(503, {"error": "service is not started"})
+        tracer = get_tracer()
+        self.stats.requests += 1
+        tracer.incr("serve.requests")
+
+        if request.faults is None:
+            cataloged = self._from_catalog(request)
+            if cataloged is not None:
+                self.stats.catalog_hits += 1
+                tracer.incr("serve.catalog_hits")
+                return {
+                    name: ServedMetric(entry=entry, source="catalog")
+                    for name, entry in cataloged.items()
+                }
+
+        job = self._inflight.get(request.key)
+        if job is not None:
+            self.stats.coalesced += 1
+            tracer.incr("serve.coalesced")
+        else:
+            job = _Job(request=request, future=asyncio.get_running_loop().create_future())
+            assert self._queue is not None
+            try:
+                self._queue.put_nowait(job)
+            except asyncio.QueueFull:
+                self.stats.rejected += 1
+                tracer.incr("serve.rejected")
+                raise ServiceBusy(self.queue_limit) from None
+            self._inflight[request.key] = job
+        outcome = await asyncio.shield(job.future)
+        if isinstance(outcome, ServiceError):
+            raise outcome
+        return {
+            name: ServedMetric(entry=entry, source="pipeline")
+            for name, entry in outcome.items()
+        }
+
+    def _from_catalog(
+        self, request: AnalysisRequest
+    ) -> Optional[Dict[str, CatalogEntry]]:
+        """Every metric of the requested domain, from the store — or None
+        when any expected metric is missing or stale."""
+        if self.store is None:
+            return None
+        from repro.core.signatures import signatures_for
+
+        arch, events_digest = self._node_identity(request.system, request.seed)
+        config_digest = analysis_config_digest(
+            request.domain, request.seed, self._config_for(request.domain)
+        )
+        entries: Dict[str, CatalogEntry] = {}
+        for signature in signatures_for(request.domain):
+            entry = self.store.latest(
+                arch,
+                signature.name,
+                config_digest,
+                events_digest=events_digest,
+            )
+            if entry is None:
+                return None
+            entries[signature.name] = entry
+        return entries
+
+    # -- dispatch ------------------------------------------------------
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            batch = [job]
+            while len(batch) < self.batch_size:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self.stats.batches += 1
+            get_tracer().incr("serve.batches")
+            tasks = [self._task_for(j.request) for j in batch]
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._pool, self._runner, tasks
+                )
+            except Exception as exc:  # noqa: BLE001 — resolve, never hang
+                error = ServiceError(
+                    500,
+                    {
+                        "error": f"batch dispatch failed: {exc}",
+                        "error_type": type(exc).__name__,
+                    },
+                )
+                for j in batch:
+                    self._resolve_error(j, error)
+                continue
+            for j, outcome in zip(batch, outcomes):
+                self._resolve(j, outcome)
+
+    def _task_for(self, request: AnalysisRequest) -> SweepTask:
+        faults = None
+        if request.faults is not None:
+            from repro.faults import parse_fault_spec
+
+            faults = parse_fault_spec(request.faults)
+        return SweepTask(
+            system=request.system,
+            domain=request.domain,
+            seed=request.seed,
+            config=self._config_for(request.domain),
+            cache_dir=self.cache_dir,
+            faults=faults,
+        )
+
+    def _run_batch(self, tasks: List[SweepTask]) -> List[SweepOutcome]:
+        """Worker-thread body: one serial engine dispatch per batch.
+
+        The batch runs inside its own (thread-local) tracing scope; the
+        finished trace is attached to every successful result so the
+        catalog can stamp its digest as lineage.  The loop thread's
+        ambient tracer is untouched."""
+        from repro.obs import tracing
+
+        with tracing(seed=tasks[0].seed if tasks else 0) as tracer:
+            outcomes = self._engine.run(tasks)
+        batch_trace = tracer.trace()
+        for outcome in outcomes:
+            if outcome.ok and outcome.result is not None:
+                outcome.result.trace = batch_trace
+        return outcomes
+
+    def _resolve(self, job: _Job, outcome: Optional[SweepOutcome]) -> None:
+        """Turn one engine outcome into the job's resolution (loop thread)."""
+        tracer = get_tracer()
+        if outcome is None or not outcome.ok:
+            self.stats.errors += 1
+            tracer.incr("serve.errors")
+            payload: Dict[str, Any] = {
+                "error": outcome.error if outcome else "analysis produced no outcome",
+                "error_type": outcome.error_type if outcome else None,
+                "attempts": outcome.attempts if outcome else 0,
+                "request": {
+                    "system": job.request.system,
+                    "domain": job.request.domain,
+                    "seed": job.request.seed,
+                    "faults": job.request.faults,
+                },
+            }
+            if outcome is not None and outcome.traceback:
+                payload["traceback"] = outcome.traceback
+            self._resolve_error(job, ServiceError(500, payload))
+            return
+        self.stats.pipeline_runs += 1
+        tracer.incr("serve.pipeline_runs")
+        result = outcome.result
+        arch, events_digest = self._node_identity(
+            job.request.system, job.request.seed
+        )
+        trace_digest = None
+        if result.trace is not None:
+            from repro.io.digest import sha256_hex
+            from repro.obs import trace_json_digest
+
+            trace_digest = sha256_hex(trace_json_digest(result.trace), length=16)
+        entries = {
+            entry.metric: entry
+            for entry in entries_from_result(
+                result,
+                arch=arch,
+                seed=job.request.seed,
+                events_digest=events_digest,
+                trace_digest=trace_digest,
+            )
+        }
+        if self.store is not None and job.request.faults is None:
+            entries = {
+                name: self.store.put(entry) for name, entry in entries.items()
+            }
+        self._inflight.pop(job.request.key, None)
+        if not job.future.done():
+            job.future.set_result(entries)
+
+    def _resolve_error(self, job: _Job, error: ServiceError) -> None:
+        self._inflight.pop(job.request.key, None)
+        if not job.future.done():
+            # Resolve with the error object (not set_exception) so every
+            # coalesced rider observes it without "exception was never
+            # retrieved" noise for the ones that were cancelled.
+            job.future.set_result(error)

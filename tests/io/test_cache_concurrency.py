@@ -1,0 +1,141 @@
+"""Concurrent-access regression tests for the measurement cache.
+
+The serving layer points several worker threads at one shared cache; a
+torn write or a reader observing a half-published entry would poison a
+bit-deterministic pipeline silently.  These tests hammer one cache from
+many threads and assert every observed measurement is intact.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cat import BenchmarkRunner, BranchBenchmark
+from repro.hardware import aurora_node
+from repro.io.cache import MeasurementCache, measurement_cache_key
+
+
+@pytest.fixture(scope="module")
+def node():
+    return aurora_node(seed=7)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return BranchBenchmark()
+
+
+@pytest.fixture(scope="module")
+def registry(node, bench):
+    return BenchmarkRunner(node, repetitions=2).select_events(bench)
+
+
+@pytest.fixture(scope="module")
+def measurement(node, bench, registry):
+    return BenchmarkRunner(node, repetitions=2).run(bench, events=registry)
+
+
+def _run_threads(workers):
+    errors = []
+
+    def wrap(fn):
+        def body():
+            try:
+                fn()
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        return body
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestConcurrentAccess:
+    def test_racing_writers_one_key(self, tmp_path, node, bench, registry, measurement):
+        """N threads putting the same content address concurrently: the
+        entry stays intact and every subsequent read verifies."""
+        cache = MeasurementCache(root=tmp_path, max_memory_entries=1)
+        key = measurement_cache_key(node, bench, registry, 2)
+        barrier = threading.Barrier(8)
+
+        def writer():
+            barrier.wait()
+            cache.put(key, measurement)
+
+        _run_threads([writer] * 8)
+        assert cache.verify_all() == []  # nothing quarantined
+        fresh = MeasurementCache(root=tmp_path, max_memory_entries=1)
+        got = fresh.get(key)
+        assert got is not None
+        np.testing.assert_array_equal(got.data, measurement.data)
+        # No stray scratch files left behind by the racing publications.
+        assert list((tmp_path / "tmp").glob("*/*")) == []
+
+    def test_concurrent_get_or_measure_single_measurement_content(
+        self, tmp_path, node, bench, registry, measurement
+    ):
+        """Racing get_or_measure callers all observe identical content;
+        racing writers re-publish the same bytes, never torn ones."""
+        cache = MeasurementCache(root=tmp_path, max_memory_entries=4)
+        key = measurement_cache_key(node, bench, registry, 2)
+        barrier = threading.Barrier(8)
+        results = []
+        lock = threading.Lock()
+
+        def caller():
+            barrier.wait()
+            got = cache.get_or_measure(key, lambda: measurement)
+            with lock:
+                results.append(got)
+
+        _run_threads([caller] * 8)
+        assert len(results) == 8
+        for got in results:
+            np.testing.assert_array_equal(got.data, measurement.data)
+        assert cache.verify_all() == []
+
+    def test_reader_never_sees_partial_entry(
+        self, tmp_path, node, bench, registry, measurement
+    ):
+        """Writers and cold readers race on one key: a reader gets either
+        a clean miss or a fully verified measurement — never corruption
+        (the .npz is published last, gating reads)."""
+        writer_cache = MeasurementCache(root=tmp_path, max_memory_entries=1)
+        key = measurement_cache_key(node, bench, registry, 2)
+        stop = threading.Event()
+        observed = []
+        lock = threading.Lock()
+
+        def writer():
+            while not stop.is_set():
+                writer_cache.put(key, measurement)
+
+        def reader():
+            # A fresh cache instance per read = no shared memory layer;
+            # every get exercises the disk path incl. checksum verify.
+            while not stop.is_set():
+                got = MeasurementCache(root=tmp_path, max_memory_entries=1).get(key)
+                if got is not None:
+                    with lock:
+                        observed.append(got)
+                    if len(observed) >= 20:
+                        stop.set()
+
+        timer = threading.Timer(10.0, stop.set)
+        timer.start()
+        try:
+            _run_threads([writer, writer, reader, reader])
+        finally:
+            timer.cancel()
+        assert observed, "readers never saw the published entry"
+        for got in observed:
+            np.testing.assert_array_equal(got.data, measurement.data)
+        # Nothing was quarantined: no reader ever saw a torn entry.
+        assert not (tmp_path / "quarantine").exists()

@@ -1,0 +1,65 @@
+"""Tests for the shared SHA-256 digest helpers.
+
+Every content address in the repo (measurement cache keys, sweep
+fingerprints, trace span ids, catalog digests) routes through this one
+module, so its invariants are load-bearing: chunking must not matter,
+canonical JSON must be key-order independent, and truncation must be a
+prefix.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.io.digest import canonical_json, file_digest, json_digest, sha256_hex
+
+
+class TestSha256Hex:
+    def test_matches_hashlib(self):
+        assert sha256_hex(b"abc") == hashlib.sha256(b"abc").hexdigest()
+
+    def test_str_chunks_are_utf8(self):
+        assert sha256_hex("abc") == sha256_hex(b"abc")
+        assert sha256_hex("caché") == sha256_hex("caché".encode("utf-8"))
+
+    def test_chunking_is_equivalent_to_concatenation(self):
+        # h.update(a); h.update(b) == h.update(a+b) — chunk boundaries
+        # must never change the address.
+        assert sha256_hex("ab", "cd", b"ef") == sha256_hex(b"abcdef")
+
+    def test_length_truncates_prefix(self):
+        full = sha256_hex(b"payload")
+        assert sha256_hex(b"payload", length=16) == full[:16]
+        assert len(full) == 64
+
+    def test_distinct_inputs_distinct_digests(self):
+        assert sha256_hex(b"a") != sha256_hex(b"b")
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_round_trips_nested_payloads(self):
+        payload = {"x": [1, 2.5, "s"], "y": {"nested": None}}
+        import json
+
+        assert json.loads(canonical_json(payload)) == payload
+
+    def test_json_digest_is_digest_of_canonical_form(self):
+        payload = {"b": 1, "a": [2, 3]}
+        assert json_digest(payload) == sha256_hex(canonical_json(payload))
+
+    def test_json_digest_length(self):
+        assert len(json_digest({"k": "v"}, length=16)) == 16
+
+
+class TestFileDigest:
+    def test_matches_content_digest(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"\x00\x01" * 1000)
+        assert file_digest(path) == sha256_hex(b"\x00\x01" * 1000)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            file_digest(tmp_path / "absent")

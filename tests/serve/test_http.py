@@ -1,0 +1,185 @@
+"""Tests for the HTTP front-end and the blocking CatalogClient.
+
+The server runs on an ephemeral localhost port inside the test's event
+loop; the blocking client is driven through ``run_in_executor`` so one
+loop hosts both sides.
+"""
+
+import asyncio
+import functools
+import json
+
+import pytest
+
+from repro.serve import (
+    CatalogClient,
+    HttpMetricServer,
+    MetricCatalogStore,
+    MetricService,
+    ServiceError,
+)
+
+METRIC = "Mispredicted Branches."
+
+
+async def _with_server(body, **service_kwargs):
+    """Start service+listener, run ``body(client, server)``, stop."""
+    service = MetricService(**service_kwargs)
+    server = HttpMetricServer(service, port=0)
+    port = await server.start()
+    loop = asyncio.get_running_loop()
+    client = CatalogClient(port=port)
+
+    def call(fn, *args, **kwargs):
+        return loop.run_in_executor(None, functools.partial(fn, *args, **kwargs))
+
+    try:
+        return await body(client, call, server)
+    finally:
+        await server.stop()
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestEndpoints:
+    def test_health_and_ready(self, tmp_path):
+        async def body(client, call, server):
+            health = await call(client.health)
+            assert health["ready"] is True
+            assert await call(client.ready) is True
+
+        run_async(_with_server(body, cache_dir=str(tmp_path / "cache")))
+
+    def test_metric_and_analyze_round_trip(self, tmp_path):
+        async def body(client, call, server):
+            payload = await call(
+                client.metric, "aurora", "branch", METRIC, seed=7
+            )
+            assert payload["source"] == "pipeline"
+            assert payload["metric"] == METRIC
+            assert payload["version"] == 1
+            # The hex coefficient encoding survives the HTTP round trip
+            # bit-exactly.
+            from repro.serve.catalog import CatalogEntry
+
+            entry = CatalogEntry.from_payload(
+                {k: v for k, v in payload.items() if k != "source"}
+            )
+            assert entry.definition().coefficients.dtype == "float64"
+
+            everything = await call(client.analyze, "aurora", "branch", seed=7)
+            assert METRIC in everything
+            assert everything[METRIC]["source"] == "catalog"
+
+        run_async(
+            _with_server(
+                body,
+                store=MetricCatalogStore(tmp_path / "catalog"),
+                cache_dir=str(tmp_path / "cache"),
+            )
+        )
+
+    def test_catalog_endpoints(self, tmp_path):
+        async def body(client, call, server):
+            await call(client.analyze, "aurora", "branch", seed=7)
+            rows = await call(client.catalog_list)
+            assert rows and all(r["latest_version"] == 1 for r in rows)
+            entry = await call(
+                client.catalog_entry, rows[0]["arch"], rows[0]["metric"]
+            )
+            assert entry["version"] == 1
+            filtered = await call(client.catalog_list, rows[0]["arch"])
+            assert filtered == rows
+
+        run_async(
+            _with_server(
+                body,
+                store=MetricCatalogStore(tmp_path / "catalog"),
+                cache_dir=str(tmp_path / "cache"),
+            )
+        )
+
+
+class TestErrorMapping:
+    def test_unknown_route_is_404(self, tmp_path):
+        async def body(client, call, server):
+            with pytest.raises(ServiceError) as err:
+                await call(client._request, "GET", "/nope")
+            assert err.value.status == 404
+
+        run_async(_with_server(body, cache_dir=str(tmp_path / "cache")))
+
+    def test_validation_error_is_400(self, tmp_path):
+        async def body(client, call, server):
+            with pytest.raises(ServiceError) as err:
+                await call(client.metric, "cray", "branch", METRIC)
+            assert err.value.status == 400
+            assert "unknown system" in err.value.payload["error"]
+
+        run_async(_with_server(body, cache_dir=str(tmp_path / "cache")))
+
+    def test_injected_crash_is_structured_500(self, tmp_path):
+        async def body(client, call, server):
+            with pytest.raises(ServiceError) as err:
+                await call(
+                    client.metric,
+                    "aurora",
+                    "branch",
+                    METRIC,
+                    seed=7,
+                    faults="crash=1.0",
+                )
+            assert err.value.status == 500
+            assert err.value.payload["error_type"] == "InjectedWorkerCrash"
+
+        run_async(
+            _with_server(body, retries=0, cache_dir=str(tmp_path / "cache"))
+        )
+
+    def test_catalog_on_storeless_service_is_404(self, tmp_path):
+        async def body(client, call, server):
+            with pytest.raises(ServiceError) as err:
+                await call(client.catalog_list)
+            assert err.value.status == 404
+
+        run_async(_with_server(body, cache_dir=str(tmp_path / "cache")))
+
+    def test_malformed_analyze_body_is_400(self, tmp_path):
+        async def body(client, call, server):
+            with pytest.raises(ServiceError) as err:
+                await call(client._request, "POST", "/v1/analyze", {"system": "aurora"})
+            assert err.value.status == 400
+
+            import http.client
+
+            def raw_junk():
+                conn = http.client.HTTPConnection(
+                    client.host, client.port, timeout=10
+                )
+                try:
+                    conn.request(
+                        "POST",
+                        "/v1/analyze",
+                        body=b"not json",
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    return response.status, json.loads(response.read().decode())
+                finally:
+                    conn.close()
+
+            status, payload = await call(raw_junk)
+            assert status == 400
+            assert "not JSON" in payload["error"]
+
+        run_async(_with_server(body, cache_dir=str(tmp_path / "cache")))
+
+    def test_wrong_method_is_405(self, tmp_path):
+        async def body(client, call, server):
+            with pytest.raises(ServiceError) as err:
+                await call(client._request, "GET", "/v1/analyze")
+            assert err.value.status == 405
+
+        run_async(_with_server(body, cache_dir=str(tmp_path / "cache")))

@@ -1,0 +1,363 @@
+"""Tests for the asyncio metric service: coalescing, batching,
+backpressure, catalog serving, and fault transparency."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import AnalysisPipeline
+from repro.guard.validate import ValidationError
+from repro.hardware import aurora_node
+from repro.serve import (
+    AnalysisRequest,
+    MetricCatalogStore,
+    MetricService,
+    ServiceBusy,
+    ServiceError,
+)
+
+METRIC = "Mispredicted Branches."
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+async def _with_service(body, **kwargs):
+    """Start a service, run ``body(service)``, always stop cleanly."""
+    service = MetricService(**kwargs)
+    await service.start()
+    try:
+        return await body(service)
+    finally:
+        await service.stop()
+
+
+class TestAnalysisRequest:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValidationError):
+            AnalysisRequest(system="cray", domain="branch")
+
+    def test_incompatible_domain_rejected(self):
+        with pytest.raises(ValidationError):
+            AnalysisRequest(system="frontier", domain="branch")
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisRequest(system="aurora", domain="branch", faults="bogus~")
+
+    def test_key_distinguishes_faults(self):
+        plain = AnalysisRequest(system="aurora", domain="branch")
+        faulted = AnalysisRequest(
+            system="aurora", domain="branch", faults="crash=1.0"
+        )
+        assert plain.key != faulted.key
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_share_one_run(self, tmp_path):
+        """ISSUE acceptance: N identical concurrent requests -> exactly
+        one pipeline execution, asserted via obs counters."""
+
+        async def body(service):
+            results = await asyncio.gather(
+                *[service.analyze("aurora", "branch", seed=7) for _ in range(5)]
+            )
+            assert all(set(r) == set(results[0]) for r in results)
+            return results
+
+        with obs.tracing(seed=7) as tracer:
+            run_async(
+                _with_service(
+                    body,
+                    store=MetricCatalogStore(tmp_path / "catalog"),
+                    cache_dir=str(tmp_path / "cache"),
+                )
+            )
+        assert tracer.counters["serve.requests"] == 5
+        assert tracer.counters["serve.pipeline_runs"] == 1
+        assert tracer.counters["serve.coalesced"] == 4
+
+    def test_distinct_seeds_do_not_coalesce(self, tmp_path):
+        async def body(service):
+            await asyncio.gather(
+                service.analyze("aurora", "branch", seed=7),
+                service.analyze("aurora", "branch", seed=8),
+            )
+            assert service.stats.pipeline_runs == 2
+            assert service.stats.coalesced == 0
+
+        run_async(_with_service(body, cache_dir=str(tmp_path / "cache")))
+
+
+class TestCatalogServing:
+    def test_second_request_is_catalog_hit_with_zero_runs(self, tmp_path):
+        """ISSUE acceptance: a repeat request is served from the catalog
+        with zero new pipeline runs."""
+
+        async def body(service):
+            first = await service.analyze("aurora", "branch", seed=7)
+            assert {m.source for m in first.values()} == {"pipeline"}
+            again = await service.analyze("aurora", "branch", seed=7)
+            assert {m.source for m in again.values()} == {"catalog"}
+            return first, again
+
+        with obs.tracing(seed=7) as tracer:
+            first, again = run_async(
+                _with_service(
+                    body,
+                    store=MetricCatalogStore(tmp_path / "catalog"),
+                    cache_dir=str(tmp_path / "cache"),
+                )
+            )
+        assert tracer.counters["serve.pipeline_runs"] == 1
+        assert tracer.counters["serve.catalog_hits"] == 1
+        for name, served in again.items():
+            assert served.entry == first[name].entry
+
+    def test_served_definition_bit_identical_to_direct_run(self, tmp_path):
+        """ISSUE acceptance: a served metric definition is bit-identical
+        (coefficient bytes, trust level, guard stamps) to a direct
+        pipeline run with the same seed and config."""
+
+        async def body(service):
+            served = await service.analyze("aurora", "branch", seed=7)
+            config = service._config_for("branch")
+            return served, config
+
+        served, config = run_async(
+            _with_service(
+                body,
+                store=MetricCatalogStore(tmp_path / "catalog"),
+                cache_dir=str(tmp_path / "cache"),
+            )
+        )
+        node = aurora_node(seed=7)
+        direct = AnalysisPipeline.for_domain("branch", node, config=config).run()
+        assert set(served) == set(direct.metrics)
+        for name, metric in direct.metrics.items():
+            got = served[name].entry.definition()
+            assert got.coefficients.tobytes() == metric.coefficients.tobytes()
+            assert got.event_names == metric.event_names
+            assert got.error == metric.error
+            if metric.trust is not None:
+                assert got.trust.level == metric.trust.level
+            if metric.health is not None:
+                assert (
+                    tuple(got.health.guards_fired)
+                    == tuple(metric.health.guards_fired)
+                )
+
+    def test_unknown_metric_is_404(self, tmp_path):
+        async def body(service):
+            with pytest.raises(ServiceError) as err:
+                await service.get_metric("aurora", "branch", "No Such Metric", seed=7)
+            assert err.value.status == 404
+            assert METRIC in err.value.payload["available"]
+
+        run_async(_with_service(body, cache_dir=str(tmp_path / "cache")))
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_429(self, tmp_path):
+        """A full dispatch queue rejects immediately with ServiceBusy —
+        never invisible queueing.  A blocking runner pins the single
+        worker; queue_limit=1 leaves room for exactly one more job."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(tasks):
+            started.set()
+            assert release.wait(timeout=30), "test runner was never released"
+            return MetricService(cache_dir=str(tmp_path / "cache"))._run_batch(tasks)
+
+        async def body(service):
+            loop = asyncio.get_running_loop()
+            first = asyncio.ensure_future(service.analyze("aurora", "branch", seed=7))
+            await loop.run_in_executor(None, started.wait)  # worker is pinned
+            second = asyncio.ensure_future(service.analyze("aurora", "branch", seed=8))
+            await asyncio.sleep(0)  # let the second request enqueue
+            with pytest.raises(ServiceBusy) as err:
+                await service.analyze("aurora", "branch", seed=9)
+            assert err.value.status == 429
+            assert service.stats.rejected == 1
+            release.set()
+            await asyncio.gather(first, second)
+
+        with obs.tracing(seed=7) as tracer:
+            run_async(
+                _with_service(
+                    body,
+                    workers=1,
+                    queue_limit=1,
+                    batch_size=1,
+                    runner=runner,
+                    cache_dir=str(tmp_path / "cache"),
+                )
+            )
+        assert tracer.counters["serve.rejected"] == 1
+        assert tracer.counters["serve.pipeline_runs"] == 2
+
+    def test_coalesced_rider_is_not_rejected(self, tmp_path):
+        """Riders of an in-flight key never consume queue capacity."""
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(tasks):
+            started.set()
+            assert release.wait(timeout=30)
+            return MetricService(cache_dir=str(tmp_path / "cache"))._run_batch(tasks)
+
+        async def body(service):
+            loop = asyncio.get_running_loop()
+            first = asyncio.ensure_future(service.analyze("aurora", "branch", seed=7))
+            await loop.run_in_executor(None, started.wait)
+            blocker = asyncio.ensure_future(
+                service.analyze("aurora", "branch", seed=8)
+            )
+            await asyncio.sleep(0)
+            # Queue is full, but an identical request coalesces fine.
+            rider = asyncio.ensure_future(service.analyze("aurora", "branch", seed=7))
+            await asyncio.sleep(0)
+            assert service.stats.coalesced == 1
+            assert service.stats.rejected == 0
+            release.set()
+            await asyncio.gather(first, blocker, rider)
+
+        run_async(
+            _with_service(
+                body,
+                workers=1,
+                queue_limit=1,
+                batch_size=1,
+                runner=runner,
+                cache_dir=str(tmp_path / "cache"),
+            )
+        )
+
+
+class TestFaultTransparency:
+    def test_injected_crash_surfaces_as_structured_error(self, tmp_path):
+        """ISSUE acceptance: a fault-injected worker crash produces a
+        structured error payload, never a hang."""
+
+        async def body(service):
+            with pytest.raises(ServiceError) as err:
+                await service.analyze(
+                    "aurora", "branch", seed=7, faults="crash=1.0"
+                )
+            payload = err.value.payload
+            assert err.value.status == 500
+            assert payload["error_type"] == "InjectedWorkerCrash"
+            assert payload["attempts"] == 1
+            assert payload["request"]["faults"] == "crash=1.0"
+
+        with obs.tracing(seed=7) as tracer:
+            run_async(
+                _with_service(
+                    body,
+                    store=MetricCatalogStore(tmp_path / "catalog"),
+                    retries=0,
+                    cache_dir=str(tmp_path / "cache"),
+                )
+            )
+        assert tracer.counters["serve.errors"] == 1
+
+    def test_faulted_requests_never_touch_the_catalog(self, tmp_path):
+        """Diagnostic probes must not poison the store or read from it."""
+        store = MetricCatalogStore(tmp_path / "catalog")
+
+        async def body(service):
+            # A clean run populates the catalog; a faulted re-run of the
+            # same key must not be served from it (and must not store).
+            await service.analyze("aurora", "branch", seed=7)
+            with pytest.raises(ServiceError):
+                await service.analyze(
+                    "aurora", "branch", seed=7, faults="crash=1.0"
+                )
+            assert service.stats.catalog_hits == 0
+
+        run_async(
+            _with_service(
+                body, store=store, retries=0, cache_dir=str(tmp_path / "cache")
+            )
+        )
+        assert len(store.log_records()) > 0  # clean run stored
+        versions = {r["version"] for r in store.log_records()}
+        assert versions == {1}  # the faulted run appended nothing
+
+    def test_retry_recovers_injected_crash(self, tmp_path):
+        """With retries enabled the engine's retry machinery (reused
+        verbatim) absorbs the crash and the analysis succeeds."""
+
+        async def body(service):
+            served = await service.analyze(
+                "aurora", "branch", seed=7, faults="crash=1.0"
+            )
+            assert {m.source for m in served.values()} == {"pipeline"}
+
+        run_async(
+            _with_service(body, retries=1, cache_dir=str(tmp_path / "cache"))
+        )
+
+
+class TestLifecycle:
+    def test_stop_resolves_pending_with_503(self, tmp_path):
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(tasks):
+            started.set()
+            release.wait(timeout=30)
+            raise RuntimeError("runner aborted by shutdown test")
+
+        async def body():
+            service = MetricService(
+                workers=1, queue_limit=4, batch_size=1, runner=runner
+            )
+            await service.start()
+            loop = asyncio.get_running_loop()
+            pending = asyncio.ensure_future(service.analyze("aurora", "branch"))
+            await loop.run_in_executor(None, started.wait)
+            queued = asyncio.ensure_future(
+                service.analyze("aurora", "branch", seed=99)
+            )
+            await asyncio.sleep(0)
+            await service.stop()
+            release.set()
+            for fut in (pending, queued):
+                with pytest.raises(ServiceError) as err:
+                    await fut
+                assert err.value.status in (500, 503)
+            assert not service.ready
+
+        run_async(body())
+
+    def test_health_payload_shape(self):
+        async def body(service):
+            health = service.health()
+            assert health["ready"] is True
+            assert health["queue_limit"] == service.queue_limit
+            assert set(health["stats"]) == {
+                "requests",
+                "coalesced",
+                "catalog_hits",
+                "pipeline_runs",
+                "batches",
+                "rejected",
+                "errors",
+            }
+            assert isinstance(health["counters"], dict)
+
+        run_async(_with_service(body))
+
+    def test_requests_before_start_are_503(self):
+        async def body():
+            service = MetricService()
+            with pytest.raises(ServiceError) as err:
+                await service.analyze("aurora", "branch")
+            assert err.value.status == 503
+
+        run_async(body())

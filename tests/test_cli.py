@@ -7,6 +7,186 @@ import pytest
 from repro.cli import main
 
 
+def exit_code(argv):
+    """Run the CLI, normalizing SystemExit into its integer status
+    (argparse raises; handlers return)."""
+    try:
+        return main(argv)
+    except SystemExit as exc:
+        code = exc.code
+        if code is None:
+            return 0
+        return code if isinstance(code, int) else 1
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        assert exit_code(["--version"]) == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """One convention everywhere: 0 ok, 1 analysis failure, 2 usage."""
+
+    def test_ok_is_zero(self, capsys):
+        assert exit_code(["list-events", "--system", "aurora", "--prefix", "BR_MISP"]) == 0
+
+    def test_bad_flag_is_two(self, capsys):
+        assert exit_code(["run", "--not-a-flag"]) == 2
+
+    def test_validation_error_is_two(self, capsys):
+        assert exit_code(["run", "--domain", "branch", "--seed", "-3"]) == 2
+
+    def test_unknown_system_is_two(self, capsys):
+        assert exit_code(["list-events", "--system", "cray"]) == 2
+
+    def test_bad_fault_spec_is_two(self, capsys):
+        assert (
+            exit_code(["sweep", "--systems", "aurora", "--domains", "branch",
+                       "--faults", "bogus~"]) == 2
+        )
+
+    def test_empty_grid_is_two(self, capsys):
+        # gpu_flops is not measurable on aurora: nothing to sweep.
+        assert (
+            exit_code(["sweep", "--systems", "aurora", "--domains", "gpu_flops"]) == 2
+        )
+
+    def test_missing_trace_file_is_two(self, capsys):
+        assert exit_code(["trace", "/nonexistent/trace.jsonl"]) == 2
+
+    def test_analysis_failure_is_one(self, capsys):
+        # A guaranteed worker crash with no retries: the sweep itself
+        # fails, which is an analysis failure (1), not a usage error (2).
+        assert (
+            exit_code(
+                [
+                    "sweep",
+                    "--systems",
+                    "aurora",
+                    "--domains",
+                    "branch",
+                    "--executor",
+                    "serial",
+                    "--retries",
+                    "0",
+                    "--faults",
+                    "crash=1.0",
+                ]
+            )
+            == 1
+        )
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestCatalogVerbs:
+    @pytest.fixture()
+    def catalog_root(self, tmp_path):
+        """A catalog populated by one stored analysis."""
+        import asyncio
+
+        from repro.serve import MetricCatalogStore, MetricService
+
+        root = tmp_path / "catalog"
+
+        async def populate():
+            service = MetricService(
+                MetricCatalogStore(root), cache_dir=str(tmp_path / "cache")
+            )
+            await service.start()
+            try:
+                await service.analyze("aurora", "branch", seed=7)
+            finally:
+                await service.stop()
+
+        asyncio.run(populate())
+        return root
+
+    def test_list(self, capsys, catalog_root):
+        assert exit_code(["catalog", "list", "--root", str(catalog_root)]) == 0
+        out = capsys.readouterr().out
+        assert "Mispredicted Branches." in out
+        assert "v1" in out
+
+    def test_list_empty(self, capsys, tmp_path):
+        assert exit_code(["catalog", "list", "--root", str(tmp_path / "empty")]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_show(self, capsys, catalog_root):
+        assert (
+            exit_code(
+                [
+                    "catalog",
+                    "show",
+                    "--root",
+                    str(catalog_root),
+                    "--arch",
+                    "aurora-spr",
+                    "Mispredicted Branches.",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "BR_MISP_RETIRED" in out
+        assert "version      : 1" in out
+
+    def test_show_unknown_metric_is_two(self, capsys, catalog_root):
+        assert (
+            exit_code(
+                [
+                    "catalog",
+                    "show",
+                    "--root",
+                    str(catalog_root),
+                    "--arch",
+                    "aurora-spr",
+                    "No Such Metric",
+                ]
+            )
+            == 2
+        )
+
+    def test_diff_identical_version(self, capsys, catalog_root):
+        assert (
+            exit_code(
+                [
+                    "catalog",
+                    "diff",
+                    "--root",
+                    str(catalog_root),
+                    "--arch",
+                    "aurora-spr",
+                    "Mispredicted Branches.",
+                    "1",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_missing_version_is_two(self, capsys, catalog_root):
+        assert (
+            exit_code(
+                [
+                    "catalog",
+                    "diff",
+                    "--root",
+                    str(catalog_root),
+                    "--arch",
+                    "aurora-spr",
+                    "Mispredicted Branches.",
+                    "1",
+                    "9",
+                ]
+            )
+            == 2
+        )
+
+
 class TestListEvents:
     def test_lists_with_prefix(self, capsys):
         assert main(["list-events", "--system", "aurora", "--prefix", "BR_MISP"]) == 0
