@@ -24,6 +24,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.pipeline import AnalysisPipeline, DOMAIN_CONFIGS, PipelineConfig
+from repro.core.sweep import SWEEP_SYSTEMS, SYSTEM_DOMAINS
 from repro.guard import GuardViolation
 from repro.hardware.systems import aurora_node, frontier_node
 from repro.io.store import save_presets
@@ -342,6 +343,40 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="config digest (only needed when several are stored)",
     )
+    cat_refresh = catalog_sub.add_parser(
+        "refresh",
+        help="dependency-tracked refresh: recompute only the entries a "
+        "registry edit invalidated (an empty catalog gets a full build)",
+    )
+    cat_refresh.add_argument("--root", required=True, metavar="DIR")
+    cat_refresh.add_argument(
+        "--system",
+        required=True,
+        choices=sorted(SWEEP_SYSTEMS),
+        help="system whose entries to refresh",
+    )
+    cat_refresh.add_argument("--seed", type=int, default=2024)
+    cat_refresh.add_argument(
+        "--domains",
+        nargs="+",
+        default=None,
+        metavar="DOMAIN",
+        help="restrict to these domains (default: every domain the "
+        "system measures)",
+    )
+    cat_refresh.add_argument(
+        "--edits",
+        default=None,
+        metavar="FILE",
+        help="JSON registry-edit file (see repro.incr.registry_edit); "
+        "the refresh runs against the edited registry",
+    )
+    cat_refresh.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk measurement cache for per-column reuse",
+    )
     return parser
 
 
@@ -460,6 +495,49 @@ def _catalog_digest_for(store, arch: str, metric: str, digest: Optional[str]) ->
     return digests[0]
 
 
+def _catalog_refresh(store, args) -> int:
+    """``repro-cat catalog refresh``: dependency-tracked recompute."""
+    from repro.core.sweep import SWEEP_SYSTEMS, SYSTEM_DOMAINS
+    from repro.incr import apply_edits, load_edits, refresh_catalog
+    from repro.io.cache import MeasurementCache
+
+    node = SWEEP_SYSTEMS[args.system](seed=args.seed)
+    domains = tuple(args.domains) if args.domains else SYSTEM_DOMAINS[args.system]
+    for domain in domains:
+        if domain not in SYSTEM_DOMAINS[args.system]:
+            raise _usage_exit(
+                f"repro-cat catalog refresh: domain {domain!r} is not "
+                f"measurable on {args.system!r} "
+                f"(has: {', '.join(SYSTEM_DOMAINS[args.system])})"
+            )
+
+    registry = node.events
+    if args.edits is not None:
+        try:
+            edits = load_edits(args.edits)
+        except (OSError, ValueError) as exc:
+            raise _usage_exit(f"repro-cat catalog refresh: {args.edits}: {exc}")
+        try:
+            registry = apply_edits(registry, edits)
+        except (KeyError, ValueError) as exc:
+            raise _usage_exit(
+                f"repro-cat catalog refresh: {exc.args[0] if exc.args else exc}"
+            )
+        for edit in edits:
+            print(f"edit: {edit.describe()}", file=sys.stderr)
+
+    cache = MeasurementCache(root=args.cache_dir) if args.cache_dir else None
+    try:
+        report = refresh_catalog(
+            store, node, domains, registry=registry, cache=cache
+        )
+    except GuardViolation as exc:
+        print(f"repro-cat catalog refresh: guard violation: {exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0
+
+
 def _catalog_main(args) -> int:
     from repro.serve import MetricCatalogStore
 
@@ -485,6 +563,9 @@ def _catalog_main(args) -> int:
                 f"trust={trust}{suffix}"
             )
         return 0
+
+    if args.catalog_command == "refresh":
+        return _catalog_refresh(store, args)
 
     digest = _catalog_digest_for(store, args.arch, args.metric, args.digest)
 

@@ -115,13 +115,21 @@ class PipelineConfig:
         cannot change a result — and the metric catalog
         (:mod:`repro.serve`) must key a cached run and an uncached run of
         the same thresholds to the same entry.
+
+        Memoized: the serve layer digests the config on every catalog
+        lookup, and the instance is frozen, so hash once.
         """
+        cached = getattr(self, "_digest_cache", None)
+        if cached is not None:
+            return cached
         from dataclasses import replace as _replace
 
         from repro.io.digest import json_digest
 
         normalized = _replace(self, use_measurement_cache=False)
-        return json_digest({"pipeline_config": repr(normalized)}, length=16)
+        digest = json_digest({"pipeline_config": repr(normalized)}, length=16)
+        object.__setattr__(self, "_digest_cache", digest)
+        return digest
 
 
 #: Paper-stated thresholds per benchmark domain.

@@ -155,6 +155,8 @@ class EventRegistry:
         self._events: List[RawEvent] = []
         self._by_name: Dict[str, RawEvent] = {}
         self._packed: Optional[PackedWeights] = None
+        self._content_digest: Optional[str] = None
+        self._event_digests: Optional[Dict[str, str]] = None
         for event in events or ():
             self.add(event)
 
@@ -167,6 +169,8 @@ class EventRegistry:
         self._by_name[key] = event
         self._events.append(event)
         self._packed = None  # the cached weight matrix is now stale
+        self._content_digest = None  # and so are the content digests
+        self._event_digests = None
 
     def extend(self, events: Iterable[RawEvent]) -> None:
         for event in events:
@@ -209,6 +213,39 @@ class EventRegistry:
         if self._packed is None:
             self._packed = PackedWeights(self._events)
         return self._packed
+
+    # Content addressing ----------------------------------------------------
+    def content_digest(self) -> str:
+        """Digest of the whole registry's event content (order-sensitive).
+
+        Built once and cached like :meth:`weight_matrix`; :meth:`add`
+        invalidates it.  Catalog freshness checks call this on every read,
+        so re-hashing a few hundred events per lookup would dominate the
+        serve hot path.
+        """
+        if self._content_digest is None:
+            from repro.io.cache import event_set_digest
+
+            self._content_digest = event_set_digest(self._events)
+        return self._content_digest
+
+    def event_digests(self) -> Dict[str, str]:
+        """Per-event content digests: ``full name -> digest``.
+
+        Each digest covers exactly one event's (name, response, noise)
+        content — the dependency coordinates ``repro.incr`` tracks so a
+        registry edit invalidates only the entries that consumed the
+        edited event.  Cached; :meth:`add` invalidates.  Returns a fresh
+        dict so callers can hold it across later registry mutation.
+        """
+        if self._event_digests is None:
+            from repro.io.cache import event_set_digest
+
+            self._event_digests = {
+                event.full_name: event_set_digest([event])[:16]
+                for event in self._events
+            }
+        return dict(self._event_digests)
 
     # Filtering ------------------------------------------------------------
     def select(

@@ -1,0 +1,187 @@
+"""Registry edits: declarative, replayable changes to an event registry.
+
+The incremental engine needs edits as *data* — a CLI invocation, a CI
+job, and a benchmark all have to apply the same change and get the same
+edited registry.  A :class:`RegistryEdit` names one change:
+
+* ``remove`` — drop an event by full name;
+* ``scale-response`` — multiply every response weight of an event by
+  ``factor`` (the canonical "vendor errata" edit: the event now counts
+  differently);
+* ``set-weight`` — set one response key's weight (adding the key when
+  absent, deleting it when ``weight`` is 0);
+* ``add`` — register a new event (programmatically via ``new_event``,
+  or from JSON via name/qualifier/domain/response fields, which builds
+  a noise-free :class:`~repro.events.model.RawEvent`).
+
+:func:`apply_edits` is pure: it returns a new
+:class:`~repro.events.registry.EventRegistry` preserving catalog order
+(edited events stay in place; added events append), never mutating the
+input — the unedited registry remains valid for comparison runs.
+
+:func:`load_edits` reads a JSON edit file and caches the parsed tuple by
+``(path, mtime)``, so repeated CLI/service refreshes against the same
+file parse it once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.events.model import RawEvent
+from repro.events.registry import EventRegistry
+
+__all__ = ["RegistryEdit", "apply_edits", "load_edits", "parse_edits"]
+
+_ACTIONS = ("remove", "scale-response", "set-weight", "add")
+
+
+@dataclass(frozen=True)
+class RegistryEdit:
+    """One declarative change to an event registry."""
+
+    action: str
+    #: Full name of the targeted event (for ``add``: the new event's).
+    event: str = ""
+    #: Response key (``set-weight`` only).
+    key: Optional[str] = None
+    #: Multiplier (``scale-response`` only).
+    factor: Optional[float] = None
+    #: New weight (``set-weight`` only; 0 deletes the key).
+    weight: Optional[float] = None
+    #: The event to register (``add`` only).
+    new_event: Optional[RawEvent] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown edit action {self.action!r}; expected one of "
+                f"{_ACTIONS}"
+            )
+        if self.action == "add":
+            if self.new_event is None:
+                raise ValueError("an 'add' edit needs new_event")
+        elif not self.event:
+            raise ValueError(f"a {self.action!r} edit needs a target event")
+        if self.action == "scale-response" and self.factor is None:
+            raise ValueError("a 'scale-response' edit needs factor")
+        if self.action == "set-weight" and (
+            self.key is None or self.weight is None
+        ):
+            raise ValueError("a 'set-weight' edit needs key and weight")
+
+    def describe(self) -> str:
+        if self.action == "remove":
+            return f"remove {self.event}"
+        if self.action == "scale-response":
+            return f"scale {self.event} response x{self.factor:g}"
+        if self.action == "set-weight":
+            return f"set {self.event}[{self.key}] = {self.weight:g}"
+        return f"add {self.new_event.full_name}"
+
+
+def _edit_event(event: RawEvent, edit: RegistryEdit) -> RawEvent:
+    response = dict(event.response)
+    if edit.action == "scale-response":
+        response = {k: w * float(edit.factor) for k, w in response.items()}
+    else:  # set-weight
+        if edit.weight == 0.0:
+            response.pop(edit.key, None)
+        else:
+            response[edit.key] = float(edit.weight)
+    return dataclasses.replace(event, response=response)
+
+
+def apply_edits(
+    registry: EventRegistry, edits: Iterable[RegistryEdit]
+) -> EventRegistry:
+    """A new registry with every edit applied, catalog order preserved.
+
+    Targeting an event the registry does not have is an error (a typo'd
+    edit silently doing nothing would defeat the whole point of the
+    refresh machinery).
+    """
+    events: List[RawEvent] = list(registry)
+    index: Dict[str, int] = {e.full_name: i for i, e in enumerate(events)}
+
+    def _position(edit: RegistryEdit) -> int:
+        pos = index.get(edit.event)
+        if pos is None:
+            raise KeyError(
+                f"edit {edit.describe()!r} targets an event not in "
+                f"registry {registry.name!r}"
+            )
+        return pos
+
+    for edit in edits:
+        if edit.action == "add":
+            name = edit.new_event.full_name
+            if name in index:
+                raise ValueError(
+                    f"edit 'add {name}' duplicates an existing event"
+                )
+            index[name] = len(events)
+            events.append(edit.new_event)
+        elif edit.action == "remove":
+            pos = _position(edit)
+            events.pop(pos)
+            index = {e.full_name: i for i, e in enumerate(events)}
+        else:
+            pos = _position(edit)
+            events[pos] = _edit_event(events[pos], edit)
+
+    label = f"{registry.name}[edited]" if registry.name else "[edited]"
+    return EventRegistry(events, name=label)
+
+
+def parse_edits(payload: Sequence[dict]) -> Tuple[RegistryEdit, ...]:
+    """Edits from their JSON form (a list of action dicts)."""
+    if not isinstance(payload, (list, tuple)):
+        raise ValueError("an edit file must hold a JSON list of edits")
+    edits = []
+    for i, item in enumerate(payload):
+        if not isinstance(item, dict) or "action" not in item:
+            raise ValueError(f"edit #{i} is not an action dict: {item!r}")
+        action = item["action"]
+        if action == "add":
+            new_event = RawEvent(
+                name=item["name"],
+                qualifier=item.get("qualifier", ""),
+                domain=item.get("domain", "other"),
+                response={
+                    k: float(v) for k, v in item.get("response", {}).items()
+                },
+                description=item.get("description", ""),
+                device=item.get("device"),
+            )
+            edits.append(RegistryEdit(action="add", new_event=new_event))
+            continue
+        edits.append(
+            RegistryEdit(
+                action=action,
+                event=item.get("event", ""),
+                key=item.get("key"),
+                factor=item.get("factor"),
+                weight=item.get("weight"),
+            )
+        )
+    return tuple(edits)
+
+
+_EDITS_CACHE: Dict[str, Tuple[float, Tuple[RegistryEdit, ...]]] = {}
+
+
+def load_edits(path: Union[str, Path]) -> Tuple[RegistryEdit, ...]:
+    """Parse a JSON edit file, cached by ``(path, mtime)``."""
+    path = Path(path)
+    mtime = path.stat().st_mtime
+    cached = _EDITS_CACHE.get(str(path))
+    if cached is not None and cached[0] == mtime:
+        return cached[1]
+    edits = parse_edits(json.loads(path.read_text()))
+    _EDITS_CACHE[str(path)] = (mtime, edits)
+    return edits

@@ -1,0 +1,196 @@
+"""In-memory incremental analysis: absorb column edits without resweeping.
+
+:class:`IncrementalAnalysis` wraps one finished
+:class:`~repro.core.pipeline.PipelineResult` and answers "the
+representation of event E changed — what are the metrics now?" without
+re-running selection and composition from scratch:
+
+1. **Selection** replays the previous pivot order through
+   :func:`~repro.core.qrcp.qrcp_update` — a verified replay that is
+   bit-identical to from-scratch QRCP when it succeeds, and falls back
+   to :func:`~repro.core.qrcp.qrcp_specialized` when the edit could
+   have changed the pivots.
+2. **Composition** depends on the edit's blast radius:
+
+   * the edited event was *not selected* and the selection is unchanged
+     — the metrics are untouched, zero solves run;
+   * the edited event *is selected* but the selection is otherwise
+     unchanged — one :meth:`UpdatableQR.replace_column` rank-one update
+     absorbs the new X-hat column, and every signature re-solves off the
+     shared updated factors (guard-certified, ``incr-rank-one-update``
+     stamped; a firing sentinel re-factorizes, bit-identical to the
+     from-scratch solve);
+   * the selection changed — full recomposition via
+     :func:`~repro.core.metrics.compose_metric`, exactly the pipeline's
+     own path.
+
+The session does not re-run measurement, noise filtering, or
+representation — callers hand it representation-space columns (pair it
+with :func:`~repro.incr.delta.measure_with_deltas` for the measurement
+side).  Trust certification and coefficient rounding are pipeline-level
+concerns and are not reproduced here; the session's output is the raw
+guarded definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.metrics import MetricDefinition, compose_metric
+from repro.core.pipeline import PipelineResult
+from repro.core.qrcp import QRCPResult, qrcp_update
+from repro.core.signatures import signatures_for
+from repro.linalg.updates import UpdatableQR
+from repro.obs import get_tracer
+
+__all__ = ["IncrementalAnalysis", "IncrementalUpdate"]
+
+
+@dataclass
+class IncrementalUpdate:
+    """The outcome of one absorbed column edit."""
+
+    event: str
+    #: "untouched" | "rank-one" | "recomposed"
+    path: str
+    selected_events: List[str]
+    metrics: Dict[str, MetricDefinition]
+    qrcp: QRCPResult
+
+
+class IncrementalAnalysis:
+    """Incremental selection + composition state for one domain."""
+
+    def __init__(self, result: PipelineResult):
+        self.domain = result.domain
+        self.config = result.config
+        self.signatures = signatures_for(result.domain)
+        self.x_matrix = np.array(
+            result.representation.x_matrix, dtype=np.float64, copy=True
+        )
+        self.event_names: List[str] = list(result.representation.event_names)
+        self.qrcp = result.qrcp
+        self.selected_events: List[str] = list(result.selected_events)
+        self.metrics: Dict[str, MetricDefinition] = dict(result.metrics)
+        self._qr: Optional[UpdatableQR] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def x_hat(self) -> np.ndarray:
+        return self.x_matrix[:, self.qrcp.selected]
+
+    def _shared_qr(self) -> UpdatableQR:
+        """The shared QR over X-hat; every signature solves off it."""
+        if self._qr is None:
+            self._qr = UpdatableQR(self.x_hat)
+        return self._qr
+
+    def _compose_from_qr(self, qr: UpdatableQR) -> Dict[str, MetricDefinition]:
+        config = self.config
+        metrics: Dict[str, MetricDefinition] = {}
+        for signature in self.signatures:
+            solve = qr.lstsq(
+                signature.coords, rcond=config.lstsq_rcond, guard=config.guard
+            )
+            metrics[signature.name] = MetricDefinition(
+                metric=signature.name,
+                event_names=tuple(self.selected_events),
+                coefficients=solve.x,
+                error=solve.backward_error,
+                signature=signature,
+                health=solve.health,
+            )
+        return metrics
+
+    def _recompose(self) -> Dict[str, MetricDefinition]:
+        config = self.config
+        x_hat = self.x_hat
+        return {
+            signature.name: compose_metric(
+                signature.name,
+                x_hat,
+                self.selected_events,
+                signature,
+                rcond=config.lstsq_rcond,
+                guard=config.guard,
+            )
+            for signature in self.signatures
+        }
+
+    # ------------------------------------------------------------------
+    def update_column(
+        self, event_name: str, new_column: np.ndarray
+    ) -> IncrementalUpdate:
+        """Absorb a new representation column for ``event_name``.
+
+        Returns the (possibly unchanged) metric definitions and records
+        which path composed them; the session's state advances to the
+        edited matrix either way.
+        """
+        try:
+            j = self.event_names.index(event_name)
+        except ValueError:
+            raise KeyError(
+                f"event {event_name!r} is not in this session's "
+                f"representation ({len(self.event_names)} events)"
+            ) from None
+        new_column = np.asarray(new_column, dtype=np.float64)
+        if new_column.shape != (self.x_matrix.shape[0],):
+            raise ValueError(
+                f"column shape {new_column.shape} does not match the "
+                f"representation dimension {self.x_matrix.shape[0]}"
+            )
+
+        x_new = self.x_matrix.copy()
+        x_new[:, j] = new_column
+        previous = self.qrcp
+        qrcp_new = qrcp_update(
+            x_new,
+            previous,
+            changed_columns=[j],
+            alpha=self.config.alpha,
+            guard=self.config.guard,
+        )
+        selected_new = [self.event_names[i] for i in qrcp_new.selected]
+        same_selection = list(qrcp_new.selected) == list(previous.selected)
+        tracer = get_tracer()
+
+        if same_selection and j not in set(previous.selected):
+            # The edit never reached X-hat: every solve is provably
+            # unchanged, so the previous definitions stand, bit for bit.
+            path = "untouched"
+            self.x_matrix = x_new
+            self.qrcp = qrcp_new
+            tracer.incr("incr.session_untouched")
+        elif same_selection:
+            path = "rank-one"
+            # Materialize the shared QR off the *previous* X-hat before
+            # advancing state, so the replacement below is the genuine
+            # old-column -> new-column rank-one update.
+            qr = self._shared_qr()
+            self.x_matrix = x_new
+            self.qrcp = qrcp_new
+            pos = list(qrcp_new.selected).index(j)
+            qr.replace_column(pos, x_new[:, j])
+            self.selected_events = selected_new
+            self.metrics = self._compose_from_qr(qr)
+            tracer.incr("incr.session_rank_one")
+        else:
+            path = "recomposed"
+            self.x_matrix = x_new
+            self.qrcp = qrcp_new
+            self.selected_events = selected_new
+            self._qr = None
+            self.metrics = self._recompose()
+            tracer.incr("incr.session_recomposed")
+
+        return IncrementalUpdate(
+            event=event_name,
+            path=path,
+            selected_events=list(self.selected_events),
+            metrics=dict(self.metrics),
+            qrcp=qrcp_new,
+        )

@@ -130,6 +130,11 @@ class CacheStats:
     # Disk entries that failed checksum verification (or decoding) and
     # were quarantined; each also counts as a miss.
     corrupt: int = 0
+    # In-memory LRU entries displaced by capacity pressure.  A hot
+    # column-reuse workload (repro.incr keeps one entry per event) that
+    # shows a non-zero eviction rate is telling you max_memory_entries
+    # is too small for the working set.
+    evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -233,11 +238,16 @@ class MeasurementCache:
         )
 
     def _remember(self, key: str, measurement: MeasurementSet) -> None:
+        evicted = 0
         with self._memory_lock:
             self._memory[key] = measurement
             self._memory.move_to_end(key)
             while len(self._memory) > self.max_memory_entries:
                 self._memory.popitem(last=False)
+                evicted += 1
+        if evicted:
+            self.stats.evictions += evicted
+            get_tracer().incr("cache.evictions", evicted)
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[MeasurementSet]:

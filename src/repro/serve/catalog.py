@@ -117,6 +117,13 @@ class CatalogEntry:
     trust: Optional[TrustScore] = None
     #: Section VI-D snapped terms, for display and preset export.
     rounded_terms: Dict[str, float] = field(default_factory=dict)
+    #: Per-event dependency digests: ``full name -> content digest`` of
+    #: every registry event this entry's analysis *could* have consumed
+    #: (the whole measured domain, not just the selected events — an
+    #: added event can change the selection).  Empty on entries written
+    #: before dependency tracking; those fall back to the coarse
+    #: whole-registry ``events_digest`` check.
+    event_digests: Dict[str, str] = field(default_factory=dict)
     #: sha256 of the run's canonical trace JSONL (None for untraced runs).
     trace_digest: Optional[str] = None
     #: Assigned by the store on ``put`` (0 = not yet stored).
@@ -141,6 +148,10 @@ class CatalogEntry:
         payload.pop("version")
         payload.pop("trace_digest", None)
         payload.pop("content_digest", None)
+        if not payload.get("event_digests"):
+            # Entries without dependency tracking hash exactly as they
+            # did before the field existed (stored catalogs keep dedup).
+            payload.pop("event_digests", None)
         return json_digest(payload, length=16)
 
     def definition(self) -> "MetricDefinition":
@@ -202,6 +213,7 @@ class CatalogEntry:
             "qrcp_guards": list(self.qrcp_guards),
             "trust": trust,
             "rounded_terms": dict(self.rounded_terms),
+            "event_digests": dict(self.event_digests),
             "trace_digest": self.trace_digest,
         }
 
@@ -254,6 +266,7 @@ class CatalogEntry:
             qrcp_guards=tuple(payload.get("qrcp_guards", ())),
             trust=trust,
             rounded_terms=dict(payload.get("rounded_terms", {})),
+            event_digests=dict(payload.get("event_digests", {})),
             trace_digest=payload.get("trace_digest"),
             version=payload["version"],
         )
@@ -265,8 +278,15 @@ def entries_from_result(
     seed: int,
     events_digest: str,
     trace_digest: Optional[str] = None,
+    event_digests: Optional[Dict[str, str]] = None,
 ) -> List[CatalogEntry]:
-    """Catalog entries for every metric a pipeline run composed."""
+    """Catalog entries for every metric a pipeline run composed.
+
+    ``event_digests`` is the per-event dependency map of the run's
+    measured domain (``EventRegistry.event_digests()`` of the domain
+    sub-registry); recording it lets ``repro.incr`` invalidate only the
+    entries an edited event actually feeds.
+    """
     config_digest = analysis_config_digest(result.domain, seed, result.config)
     qrcp_guards = (
         tuple(result.qrcp.health.guards_fired)
@@ -294,6 +314,7 @@ def entries_from_result(
                 qrcp_guards=qrcp_guards,
                 trust=definition.trust,
                 rounded_terms=rounded.terms() if rounded is not None else {},
+                event_digests=dict(event_digests or {}),
                 trace_digest=trace_digest,
             )
         )
@@ -503,6 +524,7 @@ class MetricCatalogStore:
         config_digest: str,
         version: Optional[int] = None,
         events_digest: Optional[str] = None,
+        event_digests: Optional[Dict[str, str]] = None,
     ) -> Optional[CatalogEntry]:
         """One stored version (the latest when ``version`` is None).
 
@@ -510,6 +532,14 @@ class MetricCatalogStore:
         event registry is stale: it is reported as a miss and counted on
         ``catalog.invalidated`` — serving a definition whose raw events
         no longer exist (or measure differently) would be silent poison.
+
+        ``event_digests`` refines that check to the entry's recorded
+        dependency set: an entry that tracks per-event digests is fresh
+        exactly when the current map equals the recorded one, regardless
+        of edits elsewhere in the registry (the whole point of
+        dependency tracking — an unrelated edit must not invalidate).
+        Entries without a recorded map fall back to the coarse
+        whole-registry comparison.
         """
         entry_dir = self._entry_dir(arch, metric, config_digest)
         if version is None:
@@ -522,7 +552,11 @@ class MetricCatalogStore:
         if entry is None:
             get_tracer().incr("catalog.misses")
             return None
-        if events_digest is not None and entry.events_digest != events_digest:
+        if event_digests is not None and entry.event_digests:
+            if dict(entry.event_digests) != dict(event_digests):
+                get_tracer().incr("catalog.invalidated")
+                return None
+        elif events_digest is not None and entry.events_digest != events_digest:
             get_tracer().incr("catalog.invalidated")
             return None
         get_tracer().incr("catalog.hits")
@@ -534,10 +568,15 @@ class MetricCatalogStore:
         metric: str,
         config_digest: str,
         events_digest: Optional[str] = None,
+        event_digests: Optional[Dict[str, str]] = None,
     ) -> Optional[CatalogEntry]:
         """The newest stored version of a key (staleness-checked)."""
         return self.get(
-            arch, metric, config_digest, events_digest=events_digest
+            arch,
+            metric,
+            config_digest,
+            events_digest=events_digest,
+            event_digests=event_digests,
         )
 
     def history(

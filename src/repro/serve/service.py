@@ -36,7 +36,7 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import DOMAIN_CONFIGS, PipelineConfig
 from repro.core.sweep import (
@@ -235,6 +235,11 @@ class MetricService:
         # (system, seed) -> (arch name, event-set digest); nodes are
         # deterministic, so this only needs to be computed once each.
         self._node_info: Dict[Tuple[str, int], Tuple[str, str]] = {}
+        # (system, seed) -> node, and (system, seed, domain) -> per-event
+        # dependency digests; both deterministic, computed once, and what
+        # keeps catalog reads from re-hashing the registry per request.
+        self._nodes: Dict[Tuple[str, int], object] = {}
+        self._domain_deps: Dict[Tuple[str, int, str], Dict[str, str]] = {}
         self._started = False
         self._stopping = False
 
@@ -297,17 +302,39 @@ class MetricService:
         }
 
     # -- node identity -------------------------------------------------
+    def _node_for(self, system: str, seed: int):
+        """The (deterministic, cached) node for a system+seed."""
+        key = (system, seed)
+        node = self._nodes.get(key)
+        if node is None:
+            node = SWEEP_SYSTEMS[system](seed=seed)
+            self._nodes[key] = node
+        return node
+
     def _node_identity(self, system: str, seed: int) -> Tuple[str, str]:
         """(architecture name, event-set digest) for a system+seed."""
         key = (system, seed)
         info = self._node_info.get(key)
         if info is None:
-            from repro.io.cache import event_set_digest
-
-            node = SWEEP_SYSTEMS[system](seed=seed)
-            info = (node.name, event_set_digest(node.events))
+            node = self._node_for(system, seed)
+            # content_digest() is cached on the registry itself, so even
+            # a cold service instance hashes the event set once.
+            info = (node.name, node.events.content_digest())
             self._node_info[key] = info
         return info
+
+    def _domain_dependencies(
+        self, system: str, seed: int, domain: str
+    ) -> Dict[str, str]:
+        """Per-event dependency digests of one domain's measured slice."""
+        key = (system, seed, domain)
+        deps = self._domain_deps.get(key)
+        if deps is None:
+            from repro.incr.engine import domain_event_digests
+
+            deps = domain_event_digests(self._node_for(system, seed).events, domain)
+            self._domain_deps[key] = deps
+        return deps
 
     def _config_for(self, domain: str) -> PipelineConfig:
         return replace(DOMAIN_CONFIGS[domain], use_measurement_cache=True)
@@ -405,6 +432,9 @@ class MetricService:
         config_digest = analysis_config_digest(
             request.domain, request.seed, self._config_for(request.domain)
         )
+        dependencies = self._domain_dependencies(
+            request.system, request.seed, request.domain
+        )
         entries: Dict[str, CatalogEntry] = {}
         for signature in signatures_for(request.domain):
             entry = self.store.latest(
@@ -412,11 +442,69 @@ class MetricService:
                 signature.name,
                 config_digest,
                 events_digest=events_digest,
+                event_digests=dependencies,
             )
             if entry is None:
                 return None
             entries[signature.name] = entry
         return entries
+
+    # -- incremental refresh ---------------------------------------------
+    async def refresh(
+        self,
+        system: str,
+        seed: int = 2024,
+        domains: Optional[Sequence[str]] = None,
+        registry=None,
+    ):
+        """Bring the catalog up to date for a system without a full sweep.
+
+        Runs :func:`repro.incr.refresh_catalog` on the worker pool: each
+        domain whose per-event dependency digests still match its stored
+        entries is proven fresh without recomputation; stale domains
+        re-measure only changed columns and re-run the pipeline.  Pass
+        ``registry`` (e.g. from :func:`repro.incr.apply_edits`) to refresh
+        against an edited event registry.  Returns the
+        :class:`~repro.incr.engine.RefreshReport`.
+        """
+        if self.store is None:
+            raise ServiceError(
+                400, {"error": "refresh needs a catalog store"}
+            )
+        if not self._started or self._pool is None:
+            raise ServiceError(503, {"error": "service is not started"})
+        if system not in SWEEP_SYSTEMS:
+            raise ServiceError(
+                404,
+                {
+                    "error": f"unknown system {system!r}",
+                    "available": sorted(SWEEP_SYSTEMS),
+                },
+            )
+        from repro.incr import refresh_catalog
+
+        node = self._node_for(system, seed)
+        wanted = tuple(domains) if domains else SYSTEM_DOMAINS[system]
+        for domain in wanted:
+            if domain not in SYSTEM_DOMAINS[system]:
+                raise ServiceError(
+                    400,
+                    {
+                        "error": f"domain {domain!r} is not measurable on "
+                        f"{system!r}",
+                        "available": list(SYSTEM_DOMAINS[system]),
+                    },
+                )
+        configs = {domain: self._config_for(domain) for domain in wanted}
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            self._pool,
+            lambda: refresh_catalog(
+                self.store, node, wanted, registry=registry, configs=configs
+            ),
+        )
+        get_tracer().incr("serve.refreshes")
+        return report
 
     # -- dispatch ------------------------------------------------------
     async def _worker(self) -> None:
@@ -524,6 +612,9 @@ class MetricService:
                 seed=job.request.seed,
                 events_digest=events_digest,
                 trace_digest=trace_digest,
+                event_digests=self._domain_dependencies(
+                    job.request.system, job.request.seed, job.request.domain
+                ),
             )
         }
         if self.store is not None and job.request.faults is None:

@@ -1,0 +1,71 @@
+"""Tests for cached registry/config digests (the catalog-read hot path)."""
+
+from dataclasses import replace
+
+from repro.core.pipeline import DOMAIN_CONFIGS, PipelineConfig
+from repro.events.model import RawEvent
+from repro.events.registry import EventRegistry
+from repro.hardware import aurora_node
+from repro.io.cache import event_set_digest
+
+
+def _tiny_registry():
+    return EventRegistry(
+        [
+            RawEvent(name="A", domain="branch", response={"k": 1.0}),
+            RawEvent(name="B", domain="branch", response={"k": 2.0}),
+        ],
+        name="tiny",
+    )
+
+
+class TestRegistryContentDigest:
+    def test_matches_event_set_digest(self):
+        registry = _tiny_registry()
+        assert registry.content_digest() == event_set_digest(list(registry))
+
+    def test_cached_across_calls(self):
+        registry = _tiny_registry()
+        first = registry.content_digest()
+        assert registry.content_digest() is first  # memoized string
+
+    def test_add_invalidates(self):
+        registry = _tiny_registry()
+        before = registry.content_digest()
+        deps_before = registry.event_digests()
+        registry.add(RawEvent(name="C", domain="branch", response={"k": 3.0}))
+        assert registry.content_digest() != before
+        deps_after = registry.event_digests()
+        assert set(deps_after) == set(deps_before) | {"C"}
+        for name in deps_before:
+            assert deps_after[name] == deps_before[name]
+
+    def test_event_digests_returns_copy(self):
+        registry = _tiny_registry()
+        deps = registry.event_digests()
+        deps["A"] = "tampered"
+        assert registry.event_digests()["A"] != "tampered"
+
+    def test_node_registry_digest_is_stable(self):
+        node = aurora_node(seed=7)
+        assert node.events.content_digest() == node.events.content_digest()
+        assert node.events.content_digest() == event_set_digest(
+            list(node.events)
+        )
+
+
+class TestConfigDigestMemo:
+    def test_repeated_calls_return_cached_value(self):
+        config = replace(DOMAIN_CONFIGS["branch"])  # fresh instance
+        first = config.digest()
+        assert config.digest() is first
+
+    def test_distinct_configs_distinct_digests(self):
+        base = DOMAIN_CONFIGS["branch"]
+        other = replace(base, tau=base.tau * 2)
+        assert base.digest() != other.digest()
+
+    def test_cache_flag_still_normalized(self):
+        base = replace(DOMAIN_CONFIGS["branch"], use_measurement_cache=False)
+        cached = replace(base, use_measurement_cache=True)
+        assert base.digest() == cached.digest()

@@ -1,0 +1,201 @@
+"""Tests for dependency-tracked catalog refresh (``repro.incr.engine``)."""
+
+import dataclasses
+
+import pytest
+
+from repro.hardware import aurora_node
+from repro.incr import (
+    RegistryEdit,
+    apply_edits,
+    domain_event_digests,
+    measured_event_domains,
+    refresh_catalog,
+)
+from repro.io.cache import MeasurementCache
+from repro.obs import tracing
+from repro.serve.catalog import MetricCatalogStore
+
+DOMAINS = ("cpu_flops", "branch")
+
+
+@pytest.fixture(scope="module")
+def node():
+    return aurora_node(seed=7)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return MeasurementCache(max_memory_entries=4096)
+
+
+@pytest.fixture()
+def built(tmp_path, node, cache):
+    store = MetricCatalogStore(tmp_path / "catalog")
+    report = refresh_catalog(store, node, DOMAINS, cache=cache)
+    return store, report
+
+
+def _event_of_domain(node, domain):
+    return next(e.full_name for e in node.events if e.domain == domain)
+
+
+class TestDependencySlices:
+    def test_measured_event_domains(self):
+        assert "flops" in measured_event_domains("cpu_flops")
+        assert "branch" in measured_event_domains("cpu_flops")
+        assert "branch" in measured_event_domains("branch")
+        assert "flops" not in measured_event_domains("branch")
+        with pytest.raises(KeyError):
+            measured_event_domains("nope")
+
+    def test_domain_event_digests_cover_the_slice(self, node):
+        deps = domain_event_digests(node.events, "branch")
+        sliced = {
+            e.full_name
+            for e in node.events
+            if e.domain in measured_event_domains("branch")
+        }
+        assert set(deps) == sliced
+
+
+class TestRefresh:
+    def test_empty_store_builds_everything(self, built, node):
+        store, report = built
+        assert not report.unchanged
+        assert {d for d, _ in report.refreshed} == set(DOMAINS)
+        assert len(store.list_entries(node.name)) == len(report.refreshed)
+
+    def test_noop_refresh_proves_freshness(self, built, node, cache):
+        store, report = built
+        with tracing(seed=0) as tracer:
+            again = refresh_catalog(store, node, DOMAINS, cache=cache)
+            assert tracer.counters.get("incr.entries_unchanged") == len(
+                report.refreshed
+            )
+            assert "incr.entries_refreshed" not in tracer.counters
+        assert not again.refreshed
+        assert set(again.unchanged) == {
+            (d, m) for d, m in report.refreshed
+        }
+
+    def test_flops_edit_stales_only_cpu_flops(self, built, node, cache):
+        store, _ = built
+        target = _event_of_domain(node, "flops")
+        edited = apply_edits(
+            node.events,
+            [RegistryEdit(action="scale-response", event=target, factor=1.2)],
+        )
+        report = refresh_catalog(
+            store, node, DOMAINS, registry=edited, cache=cache
+        )
+        assert report.stale_domains == ["cpu_flops"]
+        assert all(d == "branch" for d, _ in report.unchanged)
+        # Only the edited column was re-measured.
+        delta = report.deltas["cpu_flops"]
+        assert delta.measured_events == (target,)
+        assert delta.reused == delta.total - 1
+
+    def test_branch_edit_stales_both_domains(self, built, node, cache):
+        # cpu_flops' blind sweep measures branch events too, so a branch
+        # edit legitimately invalidates both domains.
+        store, _ = built
+        target = _event_of_domain(node, "branch")
+        edited = apply_edits(
+            node.events,
+            [RegistryEdit(action="scale-response", event=target, factor=1.2)],
+        )
+        report = refresh_catalog(
+            store, node, DOMAINS, registry=edited, cache=cache
+        )
+        assert report.stale_domains == ["branch", "cpu_flops"]
+        assert not report.unchanged
+
+    def test_refresh_equals_from_scratch(self, built, node, cache, tmp_path):
+        """Refreshed entries are content-identical to a from-scratch
+        build on the edited registry; untouched entries answer with
+        bit-identical coefficients."""
+        store, _ = built
+        target = _event_of_domain(node, "flops")
+        edited = apply_edits(
+            node.events,
+            [RegistryEdit(action="scale-response", event=target, factor=1.2)],
+        )
+        report = refresh_catalog(
+            store, node, DOMAINS, registry=edited, cache=cache
+        )
+        scratch_store = MetricCatalogStore(tmp_path / "scratch")
+        scratch = refresh_catalog(
+            scratch_store, node, DOMAINS, registry=edited, cache=cache
+        )
+        assert set(report.entries) == set(scratch.entries)
+        refreshed = set(report.refreshed)
+        for key, scratch_entry in scratch.entries.items():
+            entry = report.entries[key]
+            if key in refreshed:
+                assert entry.content_digest() == scratch_entry.content_digest()
+            else:
+                assert tuple(entry.coefficients) == tuple(
+                    scratch_entry.coefficients
+                )
+                assert entry.error == scratch_entry.error
+
+    def test_legacy_entries_migrate_on_first_refresh(
+        self, built, node, cache, tmp_path
+    ):
+        """Entries stored before dependency tracking (empty map) fall
+        back to the coarse whole-registry check: any edit stales them
+        once, and the recompute stamps the fine-grained map."""
+        store, report = built
+        legacy_store = MetricCatalogStore(tmp_path / "legacy")
+        for entry in report.entries.values():
+            legacy_store.put(dataclasses.replace(entry, event_digests={}))
+
+        # Same registry: the coarse digest matches, nothing recomputes.
+        same = refresh_catalog(legacy_store, node, DOMAINS, cache=cache)
+        assert not same.refreshed
+
+        # An added (GPU-domain) event neither CPU benchmark measures still
+        # changes the whole-registry digest, so every legacy entry goes
+        # stale...
+        from repro.events.model import RawEvent
+
+        edited = apply_edits(
+            node.events,
+            [
+                RegistryEdit(
+                    action="add",
+                    new_event=RawEvent(
+                        name="UNCORE_SYNTH_A",
+                        domain="gpu_valu",
+                        response={"k": 1.0},
+                    ),
+                )
+            ],
+        )
+        migrated = refresh_catalog(
+            legacy_store, node, DOMAINS, registry=edited, cache=cache
+        )
+        assert set(migrated.refreshed) == set(report.refreshed)
+        assert all(
+            entry.event_digests for entry in migrated.entries.values()
+        )
+
+        # ...but with the map stamped, the next unmeasured edit is a no-op.
+        edited2 = apply_edits(
+            edited,
+            [
+                RegistryEdit(
+                    action="add",
+                    new_event=RawEvent(
+                        name="UNCORE_SYNTH_B",
+                        domain="gpu_valu",
+                        response={"k": 1.0},
+                    ),
+                )
+            ],
+        )
+        after = refresh_catalog(
+            legacy_store, node, DOMAINS, registry=edited2, cache=cache
+        )
+        assert not after.refreshed

@@ -1,0 +1,181 @@
+"""Tests for declarative registry edits (``repro.incr.registry_edit``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.events.model import RawEvent
+from repro.hardware import aurora_node
+from repro.incr import RegistryEdit, apply_edits, load_edits, parse_edits
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return aurora_node(seed=7).events
+
+
+class TestRegistryEdit:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            RegistryEdit(action="rename", event="X")
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(ValueError):
+            RegistryEdit(action="remove")
+
+    def test_scale_needs_factor(self):
+        with pytest.raises(ValueError):
+            RegistryEdit(action="scale-response", event="X")
+
+    def test_set_weight_needs_key_and_weight(self):
+        with pytest.raises(ValueError):
+            RegistryEdit(action="set-weight", event="X", key="k")
+
+    def test_add_needs_event(self):
+        with pytest.raises(ValueError):
+            RegistryEdit(action="add")
+
+    def test_describe(self):
+        edit = RegistryEdit(action="scale-response", event="E", factor=2.0)
+        assert "E" in edit.describe() and "2" in edit.describe()
+
+
+class TestApplyEdits:
+    def test_pure_and_order_preserving(self, registry):
+        target = list(registry)[3].full_name
+        before = [e.full_name for e in registry]
+        edited = apply_edits(
+            registry,
+            [RegistryEdit(action="scale-response", event=target, factor=2.0)],
+        )
+        assert [e.full_name for e in edited] == before
+        assert [e.full_name for e in registry] == before  # input untouched
+        original = next(e for e in registry if e.full_name == target)
+        changed = next(e for e in edited if e.full_name == target)
+        assert dict(changed.response) == {
+            k: 2.0 * w for k, w in original.response.items()
+        }
+
+    def test_remove(self, registry):
+        target = list(registry)[0].full_name
+        edited = apply_edits(
+            registry, [RegistryEdit(action="remove", event=target)]
+        )
+        assert target not in {e.full_name for e in edited}
+        assert len(list(edited)) == len(list(registry)) - 1
+
+    def test_set_weight_adds_and_deletes(self, registry):
+        target = list(registry)[0].full_name
+        edited = apply_edits(
+            registry,
+            [
+                RegistryEdit(
+                    action="set-weight", event=target, key="extra", weight=3.0
+                )
+            ],
+        )
+        changed = next(e for e in edited if e.full_name == target)
+        assert changed.response["extra"] == 3.0
+        cleared = apply_edits(
+            edited,
+            [
+                RegistryEdit(
+                    action="set-weight", event=target, key="extra", weight=0.0
+                )
+            ],
+        )
+        assert "extra" not in next(
+            e for e in cleared if e.full_name == target
+        ).response
+
+    def test_add_appends(self, registry):
+        new = RawEvent(
+            name="SYNTHETIC_EVENT", domain="branch", response={"k": 1.0}
+        )
+        edited = apply_edits(
+            registry, [RegistryEdit(action="add", new_event=new)]
+        )
+        assert list(edited)[-1].full_name == "SYNTHETIC_EVENT"
+
+    def test_add_duplicate_rejected(self, registry):
+        existing = list(registry)[0]
+        with pytest.raises(ValueError):
+            apply_edits(
+                registry, [RegistryEdit(action="add", new_event=existing)]
+            )
+
+    def test_missing_target_raises(self, registry):
+        with pytest.raises(KeyError):
+            apply_edits(
+                registry,
+                [RegistryEdit(action="remove", event="NO_SUCH_EVENT")],
+            )
+
+    def test_edited_label(self, registry):
+        target = list(registry)[0].full_name
+        edited = apply_edits(
+            registry, [RegistryEdit(action="remove", event=target)]
+        )
+        assert edited.name.endswith("[edited]")
+
+    def test_digest_changes_only_for_edited_event(self, registry):
+        target = list(registry)[2].full_name
+        edited = apply_edits(
+            registry,
+            [RegistryEdit(action="scale-response", event=target, factor=1.1)],
+        )
+        before = registry.event_digests()
+        after = edited.event_digests()
+        assert before[target] != after[target]
+        for name in before:
+            if name != target:
+                assert before[name] == after[name]
+        assert registry.content_digest() != edited.content_digest()
+
+
+class TestParseAndLoad:
+    def test_parse_round_trip(self):
+        payload = [
+            {"action": "remove", "event": "A"},
+            {"action": "scale-response", "event": "B", "factor": 2.0},
+            {"action": "set-weight", "event": "C", "key": "k", "weight": 1.5},
+            {
+                "action": "add",
+                "name": "NEW_EVT",
+                "domain": "branch",
+                "response": {"r": 1.0},
+            },
+        ]
+        edits = parse_edits(payload)
+        assert [e.action for e in edits] == [
+            "remove",
+            "scale-response",
+            "set-weight",
+            "add",
+        ]
+        assert edits[3].new_event.full_name == "NEW_EVT"
+
+    def test_parse_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            parse_edits({"action": "remove"})
+
+    def test_parse_rejects_actionless_item(self):
+        with pytest.raises(ValueError):
+            parse_edits([{"event": "A"}])
+
+    def test_load_edits_mtime_cache(self, tmp_path):
+        path = tmp_path / "edits.json"
+        path.write_text(json.dumps([{"action": "remove", "event": "A"}]))
+        first = load_edits(path)
+        assert first is load_edits(path)  # same mtime: cached tuple
+        # A rewrite with a different mtime re-parses.
+        path.write_text(json.dumps([{"action": "remove", "event": "B"}]))
+        os.utime(path, (1, 1))
+        second = load_edits(path)
+        assert second is not first
+        assert second[0].event == "B"
+
+    def test_load_edits_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            load_edits(tmp_path / "nope.json")

@@ -82,6 +82,29 @@ class TestMeasurementCache:
         assert cache.get("a" * 64) is not None
         assert cache.get("c" * 64) is not None
 
+    def test_eviction_stats_and_counter(self, measurement):
+        from repro.obs import tracing
+
+        with tracing(seed=0) as tracer:
+            cache = MeasurementCache(max_memory_entries=2)
+            cache.put("a" * 64, measurement)
+            cache.put("b" * 64, measurement)
+            assert cache.stats.evictions == 0
+            cache.put("c" * 64, measurement)  # displaces "a"
+            cache.put("d" * 64, measurement)  # displaces "b"
+            assert cache.stats.evictions == 2
+            assert tracer.counters.get("cache.evictions") == 2
+        # Memory-only hits/misses also flow through the obs counters.
+        with tracing(seed=0) as tracer:
+            cache = MeasurementCache()
+            cache.get("e" * 64)
+            cache.put("e" * 64, measurement)
+            cache.get("e" * 64)
+            assert cache.stats.memory_hits == 1
+            assert cache.stats.misses == 1
+            assert tracer.counters.get("cache.memory_hits") == 1
+            assert tracer.counters.get("cache.misses") == 1
+
     def test_disk_round_trip(self, tmp_path, node, bench, registry, measurement):
         cache = MeasurementCache(root=tmp_path)
         key = measurement_cache_key(node, bench, registry, 2)

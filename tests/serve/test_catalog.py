@@ -218,3 +218,174 @@ class TestStore:
         assert tracer.counters["catalog.dedup"] == 1
         assert tracer.counters["catalog.hits"] >= 1
         assert tracer.counters["catalog.misses"] == 1
+
+
+class TestEventDigests:
+    """Per-event dependency tracking on catalog entries."""
+
+    @pytest.fixture(scope="class")
+    def tracked(self, node, result):
+        deps = node.events.select(domains=("branch",)).event_digests()
+        return entries_from_result(
+            result,
+            arch=node.name,
+            seed=7,
+            events_digest=event_set_digest(node.events),
+            event_digests=deps,
+        )
+
+    def test_payload_round_trip(self, tracked):
+        for entry in tracked:
+            assert entry.event_digests
+            back = CatalogEntry.from_payload(
+                json.loads(json.dumps(entry.to_payload()))
+            )
+            assert back == entry
+            assert back.event_digests == entry.event_digests
+
+    def test_empty_map_keeps_legacy_content_digest(self, entries):
+        """Adding the (empty) field must not change the content digest
+        of pre-tracking entries — stored catalogs keep deduping."""
+        import dataclasses
+
+        entry = entries[0]
+        assert entry.event_digests == {}
+        payload = entry.to_payload()
+        # The payload carries the field, but the content digest drops it
+        # when empty, so a legacy payload (no field at all) digests the
+        # same.
+        legacy = dict(payload)
+        legacy.pop("event_digests")
+        legacy_entry = CatalogEntry.from_payload(legacy)
+        assert legacy_entry.content_digest() == entry.content_digest()
+        tracked = dataclasses.replace(entry, event_digests={"E": "abc"})
+        assert tracked.content_digest() != entry.content_digest()
+
+    def test_fine_grained_freshness(self, tmp_path, node, tracked):
+        store = MetricCatalogStore(tmp_path)
+        stored = store.put(tracked[0])
+        deps = node.events.select(domains=("branch",)).event_digests()
+
+        # Exact dependency match: fresh.
+        assert (
+            store.latest(
+                stored.arch,
+                stored.metric,
+                stored.config_digest,
+                events_digest="whole-registry-digest-changed",
+                event_digests=deps,
+            )
+            is not None
+        )
+
+        # One dependent event's digest drifts: stale.
+        drifted = dict(deps)
+        drifted[next(iter(drifted))] = "0" * 16
+        with obs.tracing(seed=0) as tracer:
+            assert (
+                store.latest(
+                    stored.arch,
+                    stored.metric,
+                    stored.config_digest,
+                    event_digests=drifted,
+                )
+                is None
+            )
+            assert tracer.counters["catalog.invalidated"] == 1
+
+        # An added dependency (new event in the measured slice): stale.
+        grown = dict(deps)
+        grown["NEW_EVENT"] = "f" * 16
+        assert (
+            store.latest(
+                stored.arch,
+                stored.metric,
+                stored.config_digest,
+                event_digests=grown,
+            )
+            is None
+        )
+
+    def test_legacy_entry_falls_back_to_coarse_check(
+        self, tmp_path, entries, node
+    ):
+        """An entry without a dependency map is checked against the
+        whole-registry digest even when fine-grained digests are given."""
+        store = MetricCatalogStore(tmp_path)
+        stored = store.put(entries[0])  # event_digests == {}
+        deps = node.events.select(domains=("branch",)).event_digests()
+        assert (
+            store.latest(
+                stored.arch,
+                stored.metric,
+                stored.config_digest,
+                events_digest=stored.events_digest,
+                event_digests=deps,
+            )
+            is not None
+        )
+        assert (
+            store.latest(
+                stored.arch,
+                stored.metric,
+                stored.config_digest,
+                events_digest="different-registry",
+                event_digests=deps,
+            )
+            is None
+        )
+
+
+class TestPartialRefreshDiff:
+    """``catalog diff`` semantics across a partial refresh: only the
+    invalidated (arch, metric) entries gain versions; untouched entries
+    keep identical content digests (satellite for the refresh engine)."""
+
+    def test_partial_refresh_versions_only_invalidated_entries(
+        self, tmp_path, node
+    ):
+        from repro.incr import RegistryEdit, apply_edits, refresh_catalog
+        from repro.io.cache import MeasurementCache
+
+        cache = MeasurementCache(max_memory_entries=4096)
+        store = MetricCatalogStore(tmp_path)
+        domains = ("cpu_flops", "branch")
+        built = refresh_catalog(store, node, domains, cache=cache)
+        before = {
+            (d, m): entry.content_digest()
+            for (d, m), entry in built.entries.items()
+        }
+
+        # Edit one FLOPS event: only cpu_flops' slice depends on it.
+        target = next(
+            e.full_name for e in node.events if e.domain == "flops"
+        )
+        edited = apply_edits(
+            node.events,
+            [RegistryEdit(action="scale-response", event=target, factor=1.3)],
+        )
+        report = refresh_catalog(
+            store, node, domains, registry=edited, cache=cache
+        )
+        assert report.stale_domains == ["cpu_flops"]
+
+        for (domain, metric), entry in report.entries.items():
+            history = store.history(
+                entry.arch, entry.metric, entry.config_digest
+            )
+            if domain == "cpu_flops":
+                # Invalidated: a second version appended, and the diff
+                # between v1 and v2 names real field drift.
+                assert [e.version for e in history] == [1, 2]
+                diff = store.diff(
+                    entry.arch, entry.metric, entry.config_digest, 1, 2
+                )
+                assert not diff.identical
+                assert "v1 -> v2" in diff.render()
+            else:
+                # Untouched: still the single original version with the
+                # identical content digest.
+                assert [e.version for e in history] == [1]
+                assert (
+                    history[0].content_digest() == before[(domain, metric)]
+                )

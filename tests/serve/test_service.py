@@ -361,3 +361,100 @@ class TestLifecycle:
             assert err.value.status == 503
 
         run_async(body())
+
+
+class TestRefreshHook:
+    def test_refresh_builds_then_serves_from_catalog(self, tmp_path):
+        """A service-side refresh populates the catalog; subsequent
+        requests are pure catalog hits with zero pipeline runs."""
+
+        async def body(service):
+            report = await service.refresh("aurora", seed=7, domains=["branch"])
+            assert {d for d, _ in report.refreshed} == {"branch"}
+            served = await service.analyze("aurora", "branch", seed=7)
+            assert {m.source for m in served.values()} == {"catalog"}
+            again = await service.refresh("aurora", seed=7, domains=["branch"])
+            assert not again.refreshed
+            return report, served
+
+        with obs.tracing(seed=7) as tracer:
+            report, served = run_async(
+                _with_service(
+                    body, store=MetricCatalogStore(tmp_path / "catalog")
+                )
+            )
+        assert tracer.counters["serve.refreshes"] == 2
+        assert "serve.pipeline_runs" not in tracer.counters
+        # The refresh-built entries are the ones served.
+        for (domain, metric), entry in report.entries.items():
+            assert served[metric].entry == entry
+
+    def test_refresh_with_edited_registry_invalidates_service_reads(
+        self, tmp_path
+    ):
+        """After refreshing against an edited registry, a stock-registry
+        request correctly misses the catalog (the stored dependency
+        digests no longer match) and re-runs the pipeline."""
+        from repro.incr import RegistryEdit, apply_edits
+
+        async def body(service):
+            await service.refresh("aurora", seed=7, domains=["branch"])
+            node = service._node_for("aurora", 7)
+            target = next(
+                e.full_name for e in node.events if e.domain == "branch"
+            )
+            edited = apply_edits(
+                node.events,
+                [
+                    RegistryEdit(
+                        action="scale-response", event=target, factor=1.5
+                    )
+                ],
+            )
+            report = await service.refresh(
+                "aurora", seed=7, domains=["branch"], registry=edited
+            )
+            assert report.stale_domains == ["branch"]
+            served = await service.analyze("aurora", "branch", seed=7)
+            assert {m.source for m in served.values()} == {"pipeline"}
+
+        run_async(
+            _with_service(body, store=MetricCatalogStore(tmp_path / "catalog"))
+        )
+
+    def test_refresh_without_store_is_400(self):
+        async def body(service):
+            with pytest.raises(ServiceError) as err:
+                await service.refresh("aurora")
+            assert err.value.status == 400
+
+        run_async(_with_service(body))
+
+    def test_refresh_unknown_system_is_404(self, tmp_path):
+        async def body(service):
+            with pytest.raises(ServiceError) as err:
+                await service.refresh("cray")
+            assert err.value.status == 404
+
+        run_async(
+            _with_service(body, store=MetricCatalogStore(tmp_path / "catalog"))
+        )
+
+    def test_refresh_incompatible_domain_is_400(self, tmp_path):
+        async def body(service):
+            with pytest.raises(ServiceError) as err:
+                await service.refresh("frontier", domains=["branch"])
+            assert err.value.status == 400
+
+        run_async(
+            _with_service(body, store=MetricCatalogStore(tmp_path / "catalog"))
+        )
+
+    def test_refresh_before_start_is_503(self, tmp_path):
+        async def body():
+            service = MetricService(MetricCatalogStore(tmp_path / "catalog"))
+            with pytest.raises(ServiceError) as err:
+                await service.refresh("aurora")
+            assert err.value.status == 503
+
+        run_async(body())

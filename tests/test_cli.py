@@ -187,6 +187,117 @@ class TestCatalogVerbs:
         )
 
 
+class TestCatalogRefresh:
+    def test_build_edit_refresh_cycle(self, capsys, tmp_path):
+        root = str(tmp_path / "catalog")
+        cache = str(tmp_path / "cache")
+        base = [
+            "catalog",
+            "refresh",
+            "--root",
+            root,
+            "--system",
+            "aurora",
+            "--seed",
+            "7",
+            "--domains",
+            "branch",
+            "--cache-dir",
+            cache,
+        ]
+        # Empty catalog: a full build through the refresh path.
+        assert exit_code(base) == 0
+        out = capsys.readouterr().out
+        assert "refreshed" in out and "0 unchanged" in out
+
+        # Same registry again: everything proven fresh.
+        assert exit_code(base) == 0
+        assert "0 refreshed" in capsys.readouterr().out
+
+        # One edited event: recompute with near-total column reuse.
+        from repro.hardware import aurora_node
+
+        target = next(
+            e.full_name
+            for e in aurora_node(seed=7).events
+            if e.domain == "branch"
+        )
+        edits = tmp_path / "edits.json"
+        edits.write_text(
+            json.dumps(
+                [
+                    {
+                        "action": "scale-response",
+                        "event": target,
+                        "factor": 1.25,
+                    }
+                ]
+            )
+        )
+        assert exit_code(base + ["--edits", str(edits)]) == 0
+        out = capsys.readouterr().out
+        assert "columns reused" in out
+
+    def test_bad_domain_is_two(self, tmp_path):
+        assert (
+            exit_code(
+                [
+                    "catalog",
+                    "refresh",
+                    "--root",
+                    str(tmp_path / "c"),
+                    "--system",
+                    "frontier",
+                    "--domains",
+                    "branch",
+                ]
+            )
+            == 2
+        )
+
+    def test_bad_edits_file_is_two(self, tmp_path):
+        assert (
+            exit_code(
+                [
+                    "catalog",
+                    "refresh",
+                    "--root",
+                    str(tmp_path / "c"),
+                    "--system",
+                    "aurora",
+                    "--domains",
+                    "branch",
+                    "--edits",
+                    str(tmp_path / "missing.json"),
+                ]
+            )
+            == 2
+        )
+
+    def test_edit_targeting_unknown_event_is_two(self, tmp_path):
+        edits = tmp_path / "edits.json"
+        edits.write_text(
+            json.dumps([{"action": "remove", "event": "NO_SUCH_EVENT"}])
+        )
+        assert (
+            exit_code(
+                [
+                    "catalog",
+                    "refresh",
+                    "--root",
+                    str(tmp_path / "c"),
+                    "--system",
+                    "aurora",
+                    "--domains",
+                    "branch",
+                    "--edits",
+                    str(edits),
+                ]
+            )
+            == 2
+        )
+
+
 class TestListEvents:
     def test_lists_with_prefix(self, capsys):
         assert main(["list-events", "--system", "aurora", "--prefix", "BR_MISP"]) == 0
