@@ -303,6 +303,56 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="re-runs of a crashed/faulted analysis (default 1)",
     )
+    serve.add_argument(
+        "--supervise",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N supervised worker processes behind one front "
+        "(heartbeat crash/hang detection, backoff restarts, in-flight "
+        "re-dispatch); 0 = single in-process service (default)",
+    )
+    serve.add_argument(
+        "--stale-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="degraded mode: when saturated (or, supervised, when every "
+        "worker is down) serve the newest catalog entry no older than "
+        "this, stamped stale=true, instead of rejecting (default: off)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="closed-loop serve-layer chaos drill: drive a supervised "
+        "pool under injected faults and check the invariant (every "
+        "response bit-identical, explicitly stale, or a typed error)",
+    )
+    chaos.add_argument(
+        "--catalog",
+        required=True,
+        metavar="DIR",
+        help="catalog root the drill publishes into (disposable)",
+    )
+    chaos.add_argument("--cache-dir", default=None, metavar="DIR")
+    chaos.add_argument(
+        "--spec",
+        required=True,
+        help="chaos spec, e.g. "
+        "'seed=7,kill=0.2,hang=0.1,torn=0.3,drop=0.1,latency=0.2' "
+        "(see repro.faults.parse_chaos_spec)",
+    )
+    chaos.add_argument("--system", default="aurora", choices=sorted(SWEEP_SYSTEMS))
+    chaos.add_argument("--domain", default="branch")
+    chaos.add_argument("--requests", type=int, default=8)
+    chaos.add_argument("--seed", type=int, default=2024)
+    chaos.add_argument("--workers", type=int, default=3)
+    chaos.add_argument(
+        "--recovery-budget",
+        type=float,
+        default=30.0,
+        help="seconds the pool gets to return to full strength",
+    )
 
     catalog = sub.add_parser(
         "catalog", help="inspect a versioned metric catalog on disk"
@@ -342,6 +392,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--digest",
         default=None,
         help="config digest (only needed when several are stored)",
+    )
+    cat_fsck = catalog_sub.add_parser(
+        "fsck",
+        help="crash-recovery check: quarantine torn version files, "
+        "remove staged leftovers, re-append unlogged publications, "
+        "repair a torn log tail",
+    )
+    cat_fsck.add_argument("--root", required=True, metavar="DIR")
+    cat_fsck.add_argument(
+        "--compact",
+        action="store_true",
+        help="also compact the publication log (drop torn lines, "
+        "duplicates, and records whose version file is gone)",
     )
     cat_refresh = catalog_sub.add_parser(
         "refresh",
@@ -564,6 +627,22 @@ def _catalog_main(args) -> int:
             )
         return 0
 
+    if args.catalog_command == "fsck":
+        report = store.fsck(repair=True)
+        print(report.summary())
+        for path in report.quarantined:
+            print(f"  quarantined: {path}")
+        for path in report.relogged:
+            print(f"  re-appended to log: {path}")
+        if args.compact:
+            compaction = store.compact_log()
+            print(
+                f"log compacted: {compaction.records_before} -> "
+                f"{compaction.records_after} record(s) "
+                f"({compaction.dropped} dropped)"
+            )
+        return 0 if report.clean else 1
+
     if args.catalog_command == "refresh":
         return _catalog_refresh(store, args)
 
@@ -643,6 +722,49 @@ def _main(argv: Optional[List[str]] = None) -> int:
     if args.command == "serve":
         import asyncio
 
+        def announce(port: int) -> None:
+            print(
+                f"repro-cat serve: listening on http://{args.host}:{port} "
+                f"(catalog: {args.catalog or 'none'})",
+                file=sys.stderr,
+                flush=True,
+            )
+
+        if args.supervise > 0:
+            from repro.serve import (
+                ServiceSupervisor,
+                SupervisorConfig,
+                SupervisorServer,
+            )
+
+            supervisor = ServiceSupervisor(
+                args.catalog,
+                cache_dir=args.cache_dir,
+                config=SupervisorConfig(
+                    workers=args.supervise,
+                    service_workers=args.workers,
+                    service_queue_limit=args.queue_limit,
+                    service_batch_size=args.batch_size,
+                    service_retries=args.retries,
+                    stale_max_age=args.stale_max_age,
+                ),
+            )
+            front = SupervisorServer(supervisor, host=args.host, port=args.port)
+
+            async def serve_supervised() -> None:
+                bound = await front.start()
+                announce(bound)
+                try:
+                    await asyncio.Event().wait()
+                finally:
+                    await front.stop()
+
+            try:
+                asyncio.run(serve_supervised())
+            except KeyboardInterrupt:
+                print("repro-cat serve: stopped", file=sys.stderr)
+            return 0
+
         from repro.serve import MetricCatalogStore, MetricService, run_server
 
         store = (
@@ -655,15 +777,8 @@ def _main(argv: Optional[List[str]] = None) -> int:
             batch_size=args.batch_size,
             cache_dir=args.cache_dir,
             retries=args.retries,
+            stale_max_age=args.stale_max_age,
         )
-
-        def announce(port: int) -> None:
-            print(
-                f"repro-cat serve: listening on http://{args.host}:{port} "
-                f"(catalog: {args.catalog or 'none'})",
-                file=sys.stderr,
-                flush=True,
-            )
 
         try:
             asyncio.run(
@@ -677,6 +792,38 @@ def _main(argv: Optional[List[str]] = None) -> int:
         except KeyboardInterrupt:
             print("repro-cat serve: stopped", file=sys.stderr)
         return 0
+
+    if args.command == "chaos":
+        from repro.faults import parse_chaos_spec
+        from repro.serve import SupervisorConfig, run_chaos_drill
+
+        try:
+            parse_chaos_spec(args.spec)  # fail fast on a bad spec
+        except ValueError as exc:
+            raise _usage_exit(f"repro-cat chaos: {exc}")
+        report = run_chaos_drill(
+            args.catalog,
+            chaos_spec=args.spec,
+            cache_dir=args.cache_dir,
+            pairs=((args.system, args.domain),),
+            requests=args.requests,
+            base_seed=args.seed,
+            config=SupervisorConfig(
+                workers=args.workers,
+                heartbeat_timeout=1.5,
+                backoff_base=0.1,
+                backoff_max=1.0,
+                restart_intensity=10,
+                stale_max_age=3600.0,
+            ),
+            recovery_budget=args.recovery_budget,
+        )
+        print(report.summary())
+        if report.fsck is not None:
+            print(report.fsck.summary())
+        for violation in report.violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 0 if report.ok else 1
 
     if args.command == "catalog":
         return _catalog_main(args)

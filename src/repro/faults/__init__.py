@@ -13,6 +13,7 @@ disposition — never silence.
 See ``docs/robustness.md`` for the fault model and the recovery policies.
 """
 
+from repro.faults.chaos import ChaosConfig, ChaosInjector, parse_chaos_spec
 from repro.faults.injector import FaultInjector
 from repro.faults.model import (
     FaultConfig,
@@ -30,6 +31,8 @@ from repro.faults.scrub import (
 )
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosInjector",
     "FaultConfig",
     "FaultInjector",
     "FaultRecord",
@@ -40,6 +43,7 @@ __all__ = [
     "ScrubResult",
     "TransientMeasurementError",
     "merge_reports",
+    "parse_chaos_spec",
     "parse_fault_spec",
     "scrub_measurement",
 ]

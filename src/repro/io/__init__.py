@@ -23,6 +23,13 @@ if TYPE_CHECKING:  # pragma: no cover — type-checker-only eager imports
         json_digest,
         sha256_hex,
     )
+    from repro.io.durability import (
+        durable_append,
+        durable_replace,
+        durable_write,
+        fsync_dir,
+        fsync_file,
+    )
     from repro.io.store import (
         load_measurements,
         load_presets,
@@ -38,6 +45,11 @@ _EXPORTS = {
     "event_set_digest": "repro.io.cache",
     "measurement_cache_key": "repro.io.cache",
     "canonical_json": "repro.io.digest",
+    "durable_append": "repro.io.durability",
+    "durable_replace": "repro.io.durability",
+    "durable_write": "repro.io.durability",
+    "fsync_dir": "repro.io.durability",
+    "fsync_file": "repro.io.durability",
     "file_digest": "repro.io.digest",
     "json_digest": "repro.io.digest",
     "sha256_hex": "repro.io.digest",

@@ -39,15 +39,22 @@ import json
 import os
 import re
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.guard.certify import TrustScore
 from repro.guard.health import NumericalHealth
 from repro.io.digest import json_digest, sha256_hex
+from repro.io.durability import (
+    durable_append,
+    durable_replace,
+    durable_write,
+    fsync_dir,
+)
 from repro.obs import get_tracer
 
 if TYPE_CHECKING:
@@ -57,6 +64,8 @@ if TYPE_CHECKING:
 __all__ = [
     "CatalogDiff",
     "CatalogEntry",
+    "FsckReport",
+    "LogCompaction",
     "MetricCatalogStore",
     "analysis_config_digest",
     "entries_from_result",
@@ -416,13 +425,35 @@ class MetricCatalogStore:
     Writes are atomic (staged file + ``os.replace``), version allocation
     races are resolved with ``os.link``'s exclusive-create semantics, and
     every successful ``put`` appends one line to the ``log.jsonl``
-    version log — the log is the catalog's audit trail and is never
-    rewritten.
+    version log — the log is the catalog's audit trail and is only
+    rewritten by explicit :meth:`compact_log` / :meth:`fsck` repair.
+
+    With ``durable=True`` (the default) publication follows full fsync
+    discipline: staged contents are synced before the rename, the parent
+    directory is synced after it, and log appends are synced — a power
+    loss can cost at most the in-flight publication, never a previously
+    acknowledged one, and what it leaves behind is exactly what
+    :meth:`fsck` detects and quarantines.
+
+    ``failpoint`` is the crash-simulation seam used by the serve-layer
+    chaos harness: a callable ``site -> action`` consulted at the
+    publication site.  Supported actions: ``"torn"`` (write a truncated
+    version file and "lose power" — no fsync, no log record),
+    ``"unlogged"`` (publish the version file but lose power before the
+    log append).  ``None`` publishes normally.
     """
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        durable: bool = True,
+        failpoint: Optional[Callable[[str], Optional[str]]] = None,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.durable = durable
+        self.failpoint = failpoint
         self._log_lock = threading.Lock()
 
     # -- paths ---------------------------------------------------------
@@ -472,9 +503,20 @@ class MetricCatalogStore:
             stored = dataclasses.replace(entry, version=version)
             final = self._version_path(entry_dir, version)
             staged = entry_dir / f".v{version:04d}.{os.getpid()}.staged"
-            staged.write_text(
-                json.dumps(stored.to_payload(), indent=2, sort_keys=True)
+            blob = json.dumps(stored.to_payload(), indent=2, sort_keys=True)
+            action = (
+                self.failpoint(self._publish_site(stored))
+                if self.failpoint is not None
+                else None
             )
+            if action == "torn":
+                # Simulated power loss mid-publish: a torn page of the
+                # version file reaches disk, nothing else does.  Readers
+                # treat the torn file as a miss; fsck quarantines it.
+                final.write_text(blob[: max(1, len(blob) // 2)])
+                get_tracer().incr("catalog.chaos.torn_publication")
+                return dataclasses.replace(entry, version=0)
+            durable_write(staged, blob, durable=self.durable)
             try:
                 # Exclusive publish: a racing writer that claimed this
                 # version number first wins; we retry with the next one.
@@ -485,29 +527,44 @@ class MetricCatalogStore:
             except OSError:
                 # Filesystem without hard links: fall back to an atomic,
                 # last-writer-wins rename (single-writer deployments).
-                os.replace(staged, final)
+                durable_replace(staged, final, durable=self.durable)
             else:
                 staged.unlink()
+                if self.durable:
+                    fsync_dir(entry_dir)
+            if action == "unlogged":
+                # Simulated power loss after the version file is durable
+                # but before the log append: fsck re-appends the record.
+                get_tracer().incr("catalog.chaos.unlogged_publication")
+                return stored
             self._append_log(stored, content)
             get_tracer().incr("catalog.stores")
             return stored
 
-    def _append_log(self, entry: CatalogEntry, content_digest: str) -> None:
-        line = json.dumps(
-            {
-                "op": "put",
-                "arch": entry.arch,
-                "metric": entry.metric,
-                "config_digest": entry.config_digest,
-                "version": entry.version,
-                "content_digest": content_digest,
-                "events_digest": entry.events_digest,
-            },
-            sort_keys=True,
+    @staticmethod
+    def _publish_site(entry: CatalogEntry) -> str:
+        """The deterministic chaos-site name of one publication."""
+        return (
+            f"catalog.publish:{entry.arch}:{metric_slug(entry.metric)}:"
+            f"{entry.config_digest}:v{entry.version:04d}"
         )
+
+    @staticmethod
+    def _log_record(entry: CatalogEntry, content_digest: str) -> dict:
+        return {
+            "op": "put",
+            "arch": entry.arch,
+            "metric": entry.metric,
+            "config_digest": entry.config_digest,
+            "version": entry.version,
+            "content_digest": content_digest,
+            "events_digest": entry.events_digest,
+        }
+
+    def _append_log(self, entry: CatalogEntry, content_digest: str) -> None:
+        line = json.dumps(self._log_record(entry, content_digest), sort_keys=True)
         with self._log_lock:
-            with self.log_path.open("a") as fh:
-                fh.write(line + "\n")
+            durable_append(self.log_path, line + "\n", durable=self.durable)
 
     # -- reads ---------------------------------------------------------
     @staticmethod
@@ -653,11 +710,231 @@ class MetricCatalogStore:
         return rows
 
     def log_records(self) -> List[dict]:
-        """The parsed append-only version log, oldest first."""
-        if not self.log_path.exists():
-            return []
-        records = []
-        for line in self.log_path.read_text().splitlines():
-            if line.strip():
-                records.append(json.loads(line))
+        """The parsed append-only version log, oldest first.
+
+        Tolerant of a torn tail: an append interrupted by power loss can
+        leave one partial final line; it is skipped here and repaired by
+        :meth:`fsck`.
+        """
+        records, _bad = self._read_log()
         return records
+
+    def _read_log(self) -> Tuple[List[dict], List[int]]:
+        """(parsed records, 0-based indices of unparseable lines)."""
+        if not self.log_path.exists():
+            return [], []
+        records: List[dict] = []
+        bad: List[int] = []
+        for index, line in enumerate(self.log_path.read_text().splitlines()):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                bad.append(index)
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                bad.append(index)
+        return records, bad
+
+    # -- degraded reads ------------------------------------------------
+    def stale_latest(
+        self,
+        arch: str,
+        metric: str,
+        config_digest: str,
+        max_age: Optional[float] = None,
+    ) -> Optional[Tuple[CatalogEntry, float]]:
+        """The newest *loadable* version and its age in seconds, with no
+        freshness checks — the degraded-mode read.
+
+        Callers must mark anything served from here ``stale=True``: the
+        entry may predate a registry edit.  ``max_age`` bounds how old a
+        definition may be served stale (None = unbounded); torn versions
+        are skipped in favour of the newest older good one.
+        """
+        entry_dir = self._entry_dir(arch, metric, config_digest)
+        for version in reversed(self._versions_in(entry_dir)):
+            path = self._version_path(entry_dir, version)
+            entry = self._load(path)
+            if entry is None:
+                continue
+            try:
+                age = max(0.0, time.time() - path.stat().st_mtime)
+            except OSError:
+                continue
+            if max_age is not None and age > max_age:
+                return None
+            get_tracer().incr("catalog.stale_reads")
+            return entry, age
+        return None
+
+    # -- fsck & compaction ---------------------------------------------
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / "quarantine"
+
+    def fsck(self, repair: bool = True) -> "FsckReport":
+        """Detect (and with ``repair=True`` fix) crash damage.
+
+        Four findings, mirroring the measurement cache's
+        checksum-and-quarantine idiom:
+
+        * **torn versions** — unparseable ``v*.json`` files (power loss
+          mid-publication): moved under ``quarantine/`` so no code path
+          ever parses them again (``catalog.fsck.quarantined``);
+        * **staged leftovers** — ``.staged`` files whose publish never
+          completed: deleted;
+        * **unlogged versions** — good version files missing from
+          ``log.jsonl`` (power loss between publish and log append):
+          their log records are reconstructed and re-appended;
+        * **orphaned log records** — log lines whose version file is
+          gone (including ones just quarantined) and torn log tails:
+          the log is rewritten without the unparseable lines, orphans
+          are reported (the audit record survives in the report).
+        """
+        report = FsckReport()
+        entries_root = self.root / "entries"
+        on_disk: Dict[Tuple[str, str, str, int], CatalogEntry] = {}
+        if entries_root.is_dir():
+            for path in sorted(entries_root.rglob("*")):
+                if not path.is_file():
+                    continue
+                rel = str(path.relative_to(self.root))
+                if path.name.endswith(".staged"):
+                    report.staged_removed.append(rel)
+                    if repair:
+                        path.unlink(missing_ok=True)
+                    continue
+                if not re.fullmatch(r"v\d{4,}\.json", path.name):
+                    continue
+                report.scanned += 1
+                entry = self._load(path)
+                if entry is None:
+                    report.quarantined.append(rel)
+                    get_tracer().incr("catalog.fsck.quarantined")
+                    if repair:
+                        dest = self.quarantine_root / rel
+                        dest.parent.mkdir(parents=True, exist_ok=True)
+                        if dest.exists():
+                            dest = dest.with_suffix(
+                                f".{int(time.time() * 1e6):x}.json"
+                            )
+                        os.replace(path, dest)
+                    continue
+                on_disk[
+                    (entry.arch, entry.metric, entry.config_digest, entry.version)
+                ] = entry
+
+        records, bad_lines = self._read_log()
+        report.log_torn_lines = len(bad_lines)
+        logged = {
+            (
+                r.get("arch"),
+                r.get("metric"),
+                r.get("config_digest"),
+                r.get("version"),
+            )
+            for r in records
+        }
+        for key, entry in sorted(on_disk.items()):
+            if key not in logged:
+                report.relogged.append(
+                    f"{key[0]}/{key[1]}/{key[2]}/v{key[3]:04d}"
+                )
+                if repair:
+                    self._append_log(entry, entry.content_digest())
+        for key in sorted(logged):
+            if key not in on_disk and all(v is not None for v in key):
+                report.orphaned_records.append(
+                    f"{key[0]}/{key[1]}/{key[2]}/v{key[3]:04d}"
+                )
+        if repair and bad_lines:
+            # Rewrite the log without the torn lines (atomic + durable).
+            self._rewrite_log(records)
+        get_tracer().incr("catalog.fsck.runs")
+        return report
+
+    def compact_log(self) -> "LogCompaction":
+        """Compact ``log.jsonl``: drop torn lines, duplicate records, and
+        records whose version file no longer exists (run :meth:`fsck`
+        first so orphans are accounted before their records vanish).
+        The rewrite is atomic and durable."""
+        records, bad = self._read_log()
+        entries_root = self.root / "entries"
+        kept: Dict[Tuple, dict] = {}
+        dropped = len(bad)
+        for record in records:
+            key = (
+                record.get("arch"),
+                record.get("metric"),
+                record.get("config_digest"),
+                record.get("version"),
+            )
+            if all(v is not None for v in key):
+                path = self._version_path(
+                    self._entry_dir(key[0], key[1], key[2]), key[3]
+                )
+                if not path.exists():
+                    dropped += 1
+                    continue
+            if key in kept:
+                dropped += 1
+            kept[key] = record  # last record wins, order preserved by dict
+        before = len(records) + len(bad)
+        self._rewrite_log(list(kept.values()))
+        get_tracer().incr("catalog.log_compactions")
+        return LogCompaction(
+            records_before=before, records_after=len(kept), dropped=dropped
+        )
+
+    def _rewrite_log(self, records: List[dict]) -> None:
+        body = "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        staged = self.root / f".log.{os.getpid()}.staged"
+        with self._log_lock:
+            durable_write(staged, body, durable=self.durable)
+            durable_replace(staged, self.log_path, durable=self.durable)
+
+
+@dataclass
+class FsckReport:
+    """What :meth:`MetricCatalogStore.fsck` found (and repaired)."""
+
+    scanned: int = 0
+    quarantined: List[str] = field(default_factory=list)
+    staged_removed: List[str] = field(default_factory=list)
+    relogged: List[str] = field(default_factory=list)
+    orphaned_records: List[str] = field(default_factory=list)
+    log_torn_lines: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the store showed no crash damage at all."""
+        return not (
+            self.quarantined
+            or self.staged_removed
+            or self.relogged
+            or self.orphaned_records
+            or self.log_torn_lines
+        )
+
+    def summary(self) -> str:
+        return (
+            f"catalog fsck: {self.scanned} version file(s) scanned, "
+            f"{len(self.quarantined)} quarantined, "
+            f"{len(self.staged_removed)} staged leftover(s) removed, "
+            f"{len(self.relogged)} unlogged version(s) re-appended, "
+            f"{len(self.orphaned_records)} orphaned log record(s), "
+            f"{self.log_torn_lines} torn log line(s)"
+        )
+
+
+@dataclass(frozen=True)
+class LogCompaction:
+    """Result of one :meth:`MetricCatalogStore.compact_log` pass."""
+
+    records_before: int
+    records_after: int
+    dropped: int

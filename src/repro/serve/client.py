@@ -5,7 +5,13 @@ job — no asyncio required on the calling side.  Non-200 responses raise
 :class:`~repro.serve.service.ServiceError` (or its
 :class:`~repro.serve.service.ServiceBusy` subclass for 429) carrying the
 server's JSON payload, so callers see the same structured errors the
-async API raises.
+async API raises.  Transport failures — connection refused, reset,
+timeout, a torn response — raise the typed
+:class:`~repro.serve.service.TransportError` instead of leaking raw
+socket exceptions, so ``except ServiceError`` plus the ``retryable``
+flag is the complete error-handling story; the retrying
+:class:`~repro.serve.resilience.ResilientCatalogClient` builds on
+exactly that contract.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ import json
 from typing import Any, Dict, List, Optional
 from urllib.parse import quote, urlencode
 
-from repro.serve.service import ServiceBusy, ServiceError
+from repro.serve.service import ServiceBusy, ServiceError, TransportError
 
 __all__ = ["CatalogClient"]
 
@@ -33,12 +39,26 @@ class CatalogClient:
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        where = f"{self.host}:{self.port}"
         try:
             payload = json.dumps(body).encode() if body is not None else None
             headers = {"Content-Type": "application/json"} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            data = json.loads(response.read().decode() or "{}")
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except TimeoutError as exc:
+                raise TransportError(
+                    f"no response from {where} within {self.timeout}s", exc
+                ) from exc
+            except (OSError, http.client.HTTPException) as exc:
+                raise TransportError(
+                    f"{type(exc).__name__} talking to {where}: {exc}", exc
+                ) from exc
+            try:
+                data = json.loads(raw.decode() or "{}")
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise TransportError(f"torn response from {where}", exc) from exc
             if response.status == 429:
                 raise ServiceBusy(int(data.get("queue_limit", 0)) or 1)
             if response.status != 200:

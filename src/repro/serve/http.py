@@ -35,20 +35,29 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import time
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, unquote, urlsplit
 
+from repro.faults.chaos import ChaosInjector
 from repro.guard.validate import ValidationError
 from repro.serve.service import MetricService, ServiceError
 
-__all__ = ["HttpMetricServer", "run_server"]
+__all__ = [
+    "HttpMetricServer",
+    "format_response",
+    "read_http_request",
+    "run_server",
+]
 
 logger = logging.getLogger(__name__)
 
 _MAX_REQUEST_BYTES = 1 << 20  # 1 MiB: analysis requests are tiny JSON
 
 
-def _response(status: int, payload: Dict[str, Any]) -> bytes:
+def format_response(status: int, payload: Dict[str, Any]) -> bytes:
+    """Render one HTTP/1.0 JSON response (shared with the supervisor
+    front, which speaks the same wire format)."""
     body = (json.dumps(payload, sort_keys=True) + "\n").encode()
     reason = {
         200: "OK",
@@ -58,6 +67,7 @@ def _response(status: int, payload: Dict[str, Any]) -> bytes:
         429: "Too Many Requests",
         500: "Internal Server Error",
         503: "Service Unavailable",
+        504: "Gateway Timeout",
     }.get(status, "Error")
     head = (
         f"HTTP/1.0 {status} {reason}\r\n"
@@ -68,6 +78,39 @@ def _response(status: int, payload: Dict[str, Any]) -> bytes:
     return head + body
 
 
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    """Read ``(method, target, body)`` off an asyncio stream, or ``None``
+    for an empty/garbled request line.  Shared with the supervisor front."""
+    request_line = await reader.readline()
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        return None
+    method, target = parts[0].upper(), parts[1]
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if not line.strip():
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                content_length = 0
+    if content_length > _MAX_REQUEST_BYTES:
+        raise ServiceError(400, {"error": "request body too large"})
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method, target, body
+
+
+# Backwards-compatible internal alias.
+_response = format_response
+
+
 class HttpMetricServer:
     """One bound listener serving a :class:`MetricService` over HTTP."""
 
@@ -76,10 +119,20 @@ class HttpMetricServer:
         service: MetricService,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        chaos: Optional[ChaosInjector] = None,
+        chaos_scope: str = "w0",
     ):
         self.service = service
         self.host = host
         self.port = port
+        # Serve-layer chaos (see repro.faults.chaos): when set, each
+        # accepted request consults the injector at site
+        # ``request:<chaos_scope>:<ordinal>`` for socket drops, injected
+        # latency, and loop-blocking hangs.
+        self.chaos = chaos
+        self.chaos_scope = chaos_scope
+        self._accepted = 0
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> int:
@@ -102,8 +155,22 @@ class HttpMetricServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._accepted += 1
+        site = f"request:{self.chaos_scope}:{self._accepted}"
+        chaos = self.chaos
+        if chaos is not None and chaos.enabled:
+            if chaos.fires("socket-drop", site):
+                writer.close()
+                return
+            delay = chaos.latency(site)
+            if delay:
+                await asyncio.sleep(delay)
+            if chaos.fires("worker-hang", site):
+                # Deliberately block the event loop: a wedged loop is the
+                # pathology the supervisor's heartbeat must detect.
+                time.sleep(chaos.config.hang_seconds)
         try:
-            raw = await self._read_request(reader)
+            raw = await read_http_request(reader)
             if raw is None:
                 return
             method, target, body = raw
@@ -125,34 +192,6 @@ class HttpMetricServer:
             pass
         finally:
             writer.close()
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, bytes]]:
-        request_line = await reader.readline()
-        if not request_line.strip():
-            return None
-        parts = request_line.decode("latin-1").split()
-        if len(parts) < 2:
-            return None
-        method, target = parts[0].upper(), parts[1]
-        content_length = 0
-        while True:
-            line = await reader.readline()
-            if not line.strip():
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    content_length = 0
-        if content_length > _MAX_REQUEST_BYTES:
-            raise ServiceError(400, {"error": "request body too large"})
-        body = (
-            await reader.readexactly(content_length) if content_length else b""
-        )
-        return method, target, body
 
     async def _route(
         self, method: str, target: str, body: bytes

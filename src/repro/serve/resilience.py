@@ -1,0 +1,441 @@
+"""Client-side resilience: retries, deadlines, breakers, hedged reads.
+
+:class:`~repro.serve.client.CatalogClient` is one socket, one attempt:
+fine against a healthy server, useless against the failures the
+supervised serving tier is built to survive (a worker SIGKILLed
+mid-response, a listener mid-restart, a slow replica).  This module adds
+the client half of the fault-tolerance contract:
+
+* **Retry with exponential backoff and deterministic jitter** — the
+  jitter is a pure function of ``(idempotency key, attempt)``, so a
+  retry schedule is reproducible in tests while distinct requests still
+  decorrelate (no thundering herd of identical sleep ladders).
+* **Per-request deadlines** — a logical request gets one time budget;
+  every attempt's socket timeout is clamped to what remains.
+* **A circuit breaker per endpoint** — consecutive transport/5xx
+  failures trip it open and further calls fail fast with
+  :class:`BreakerOpen` instead of burning a timeout each; after
+  ``reset_after`` one half-open probe decides re-close vs re-open.
+* **Hedged reads** — idempotent reads may fire a second attempt against
+  a replica after ``hedge_delay`` seconds; first success wins.  Safe
+  because every request the service accepts is idempotent by
+  construction: retries and hedges carry the same idempotency key as the
+  original, which *is* the service's request-coalescing identity
+  ``(system, domain, seed, faults)`` — a duplicate that arrives while
+  the original runs coalesces onto the same in-flight analysis, and one
+  that arrives after it hits the catalog; either way nothing is computed
+  twice.
+
+Everything is injectable (clock, sleep, transport factory) so the retry
+and breaker behaviour is unit-testable without sockets.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.io.digest import json_digest, sha256_hex
+from repro.obs import get_tracer
+from repro.serve.client import CatalogClient
+from repro.serve.service import ServiceError, TransportError
+
+__all__ = [
+    "BreakerOpen",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "ResilientCatalogClient",
+    "RetryPolicy",
+    "idempotency_key",
+]
+
+
+def idempotency_key(
+    system: str, domain: str, seed: int = 2024, faults: Optional[str] = None
+) -> str:
+    """The request's idempotency key: a digest of the service's
+    request-coalescing identity.  Two calls with equal keys can never
+    compute twice server-side (coalescing in flight, catalog after), so
+    retrying or hedging under this key is always safe."""
+    return json_digest(
+        {"system": system, "domain": domain, "seed": seed, "faults": faults},
+        length=16,
+    )
+
+
+class DeadlineExceeded(ServiceError):
+    """The per-request time budget ran out before any attempt succeeded."""
+
+    def __init__(self, budget: float, attempts: int, last_error: Optional[ServiceError]):
+        super().__init__(
+            504,
+            {
+                "error": f"deadline of {budget}s exceeded after "
+                f"{attempts} attempt(s)",
+                "retry": True,
+                "last_error": last_error.payload if last_error else None,
+            },
+        )
+
+
+class BreakerOpen(ServiceError):
+    """Fast-fail: the endpoint's circuit breaker is open."""
+
+    def __init__(self, endpoint: str, open_for: float):
+        super().__init__(
+            503,
+            {
+                "error": f"circuit breaker open for {endpoint}",
+                "retry": True,
+                "breaker": "open",
+                "open_for_seconds": round(max(0.0, open_for), 3),
+            },
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(key, attempt)`` is a pure function: the base doubles per
+    attempt up to ``backoff_cap`` and is scaled into ``[0.5, 1.0)`` of
+    itself by a jitter fraction hashed from ``(key, attempt)``.  Same
+    key, same schedule — reproducible tests; different keys decorrelate.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff values must be >= 0")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (the first retry is 1)."""
+        base = min(self.backoff_cap, self.backoff_base * (2 ** max(0, attempt - 1)))
+        fraction = int(sha256_hex(f"{key}:attempt{attempt}", length=8), 16) / 16**8
+        return base * (0.5 + 0.5 * fraction)
+
+
+class CircuitBreaker:
+    """Classic three-state breaker over consecutive failures.
+
+    *closed* — calls flow; ``failure_threshold`` consecutive failures
+    trip to *open* (``breaker.opened``).  *open* — :meth:`allow` is
+    False (fast-fail) until ``reset_after`` seconds pass, then one probe
+    is admitted (*half-open*, ``breaker.half_open``).  A probe success
+    re-closes (``breaker.closed``); a probe failure re-opens and the
+    timer restarts.  Thread-compatible for the blocking client's usage
+    (one logical request at a time per client instance).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self.state = "closed"
+        self.failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def open_for(self) -> float:
+        """Seconds until the breaker will admit a half-open probe."""
+        if self.state != "open":
+            return 0.0
+        return max(0.0, self.reset_after - (self._clock() - self._opened_at))
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now (admits the half-open probe)."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() - self._opened_at < self.reset_after:
+                return False
+            self.state = "half-open"
+            self._probing = False
+            get_tracer().incr("breaker.half_open")
+        # half-open: exactly one probe at a time.
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        if self.state != "closed":
+            get_tracer().incr("breaker.closed")
+        self.state = "closed"
+        self.failures = 0
+        self._probing = False
+
+    def record_failure(self) -> None:
+        if self.state == "half-open":
+            self._trip()
+            return
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        if self.state != "open":
+            get_tracer().incr("breaker.opened")
+        self.state = "open"
+        self._opened_at = self._clock()
+        self.failures = 0
+        self._probing = False
+
+
+class ResilientCatalogClient:
+    """Retrying, hedging, breaker-guarded front over :class:`CatalogClient`.
+
+    Parameters
+    ----------
+    endpoints:
+        ``(host, port)`` pairs; the first is the primary, the rest are
+        read replicas (attempt rotation and hedged reads use them).
+    timeout:
+        Per-attempt socket timeout (clamped to the remaining deadline).
+    deadline:
+        Per logical request time budget in seconds.
+    retry:
+        The :class:`RetryPolicy`; only ``retryable`` errors are retried.
+    breaker / breaker_factory:
+        One :class:`CircuitBreaker` per endpoint (``breaker_factory``
+        builds them; pass ``None`` to disable fast-fail).
+    hedge_delay:
+        When set and a replica exists, idempotent reads fire a hedged
+        second attempt at a replica after this many seconds without a
+        primary response; first success wins.
+    accept_stale:
+        When False, responses marked ``stale=True`` raise
+        :class:`ServiceError` (503) instead of being returned — for
+        callers that must never act on degraded answers.
+    clock / sleep / transport:
+        Test seams (monotonic clock, sleep function, and a
+        ``(host, port, timeout) -> CatalogClient``-like factory).
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Tuple[str, int]],
+        *,
+        timeout: float = 30.0,
+        deadline: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker_factory: Optional[Callable[[], CircuitBreaker]] = CircuitBreaker,
+        hedge_delay: Optional[float] = None,
+        accept_stale: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        transport: Optional[Callable[[str, int, float], Any]] = None,
+    ):
+        if not endpoints:
+            raise ValueError("ResilientCatalogClient needs at least one endpoint")
+        self.endpoints: List[Tuple[str, int]] = [tuple(e) for e in endpoints]
+        self.timeout = timeout
+        self.deadline = deadline
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.hedge_delay = hedge_delay
+        self.accept_stale = accept_stale
+        self._clock = clock
+        self._sleep = sleep
+        self._transport = transport or (
+            lambda host, port, timeout: CatalogClient(host, port, timeout=timeout)
+        )
+        self._breakers: Dict[Tuple[str, int], Optional[CircuitBreaker]] = {
+            endpoint: (breaker_factory() if breaker_factory is not None else None)
+            for endpoint in self.endpoints
+        }
+
+    # -- plumbing ------------------------------------------------------
+    def breaker(self, endpoint: Tuple[str, int]) -> Optional[CircuitBreaker]:
+        return self._breakers[tuple(endpoint)]
+
+    def _attempt(
+        self,
+        endpoint: Tuple[str, int],
+        op: Callable[[Any], Any],
+        attempt_timeout: float,
+    ) -> Any:
+        breaker = self._breakers[endpoint]
+        if breaker is not None and not breaker.allow():
+            raise BreakerOpen(f"{endpoint[0]}:{endpoint[1]}", breaker.open_for)
+        client = self._transport(endpoint[0], endpoint[1], attempt_timeout)
+        try:
+            result = op(client)
+        except ServiceError as exc:
+            if breaker is not None:
+                # Transport trouble and server-side unavailability count
+                # against the endpoint; application-level answers (404,
+                # 400, even a 500 analysis failure) prove it is serving.
+                if isinstance(exc, TransportError) or exc.status == 503:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return result
+
+    def _call(
+        self,
+        op: Callable[[Any], Any],
+        key: str,
+        *,
+        hedgeable: bool = False,
+    ) -> Any:
+        """Run ``op`` with retries, rotation, deadline, and hedging."""
+        deadline_at = self._clock() + self.deadline
+        last_error: Optional[ServiceError] = None
+        attempts = 0
+        for attempt in range(1, self.retry.max_attempts + 1):
+            remaining = deadline_at - self._clock()
+            if remaining <= 0:
+                break
+            endpoint = self.endpoints[(attempt - 1) % len(self.endpoints)]
+            attempt_timeout = max(0.001, min(self.timeout, remaining))
+            attempts += 1
+            try:
+                if (
+                    hedgeable
+                    and self.hedge_delay is not None
+                    and len(self.endpoints) > 1
+                ):
+                    return self._hedged(endpoint, op, attempt_timeout, attempt)
+                return self._attempt(endpoint, op, attempt_timeout)
+            except ServiceError as exc:
+                get_tracer().incr("client.attempt_errors")
+                if not exc.retryable:
+                    raise
+                last_error = exc
+            pause = self.retry.delay(key, attempt)
+            remaining = deadline_at - self._clock()
+            if remaining <= 0:
+                break
+            if pause > 0:
+                self._sleep(min(pause, remaining))
+        if last_error is not None and self._clock() < deadline_at:
+            get_tracer().incr("client.exhausted_retries")
+            raise last_error
+        raise DeadlineExceeded(self.deadline, attempts, last_error)
+
+    def _hedged(
+        self,
+        primary: Tuple[str, int],
+        op: Callable[[Any], Any],
+        attempt_timeout: float,
+        attempt: int,
+    ) -> Any:
+        """Primary attempt plus a delayed replica hedge; first success
+        wins, the loser's result is discarded (idempotency makes that
+        safe)."""
+        replica = self.endpoints[attempt % len(self.endpoints)]
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures: List[Future] = [
+                pool.submit(self._attempt, primary, op, attempt_timeout)
+            ]
+            done, _ = wait(futures, timeout=self.hedge_delay)
+            if not done and replica != primary:
+                get_tracer().incr("client.hedged_reads")
+                futures.append(
+                    pool.submit(self._attempt, replica, op, attempt_timeout)
+                )
+            first_error: Optional[BaseException] = None
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    error = future.exception()
+                    if error is None:
+                        return future.result()
+                    if first_error is None:
+                        first_error = error
+            assert first_error is not None
+            raise first_error
+
+    def _check_stale(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        if not self.accept_stale and isinstance(payload, dict) and payload.get("stale"):
+            raise ServiceError(
+                503,
+                {
+                    "error": "stale answer rejected (accept_stale=False)",
+                    "retry": True,
+                    "stale": True,
+                },
+            )
+        return payload
+
+    # -- endpoints -----------------------------------------------------
+    def metric(
+        self,
+        system: str,
+        domain: str,
+        metric: str,
+        seed: int = 2024,
+        faults: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """One served metric payload, with retries/hedging; stale-marked
+        answers pass through unless ``accept_stale=False``."""
+        key = idempotency_key(system, domain, seed, faults)
+        payload = self._call(
+            lambda c: c.metric(system, domain, metric, seed=seed, faults=faults),
+            key,
+            hedgeable=faults is None,
+        )
+        return self._check_stale(payload)
+
+    def analyze(
+        self,
+        system: str,
+        domain: str,
+        seed: int = 2024,
+        faults: Optional[str] = None,
+    ) -> Dict[str, Dict[str, Any]]:
+        key = idempotency_key(system, domain, seed, faults)
+        metrics = self._call(
+            lambda c: c.analyze(system, domain, seed=seed, faults=faults),
+            key,
+            hedgeable=faults is None,
+        )
+        for payload in metrics.values():
+            self._check_stale(payload)
+        return metrics
+
+    def health(self) -> Dict[str, Any]:
+        return self._call(lambda c: c.health(), "health", hedgeable=True)
+
+    def ready(self) -> bool:
+        try:
+            return bool(self._call(lambda c: c.ready(), "ready"))
+        except ServiceError:
+            return False
+
+    def catalog_list(self, arch: Optional[str] = None) -> List[Dict[str, Any]]:
+        return self._call(
+            lambda c: c.catalog_list(arch), f"catalog-list:{arch}", hedgeable=True
+        )
+
+    def catalog_entry(
+        self,
+        arch: str,
+        metric: str,
+        digest: Optional[str] = None,
+        version: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        return self._call(
+            lambda c: c.catalog_entry(arch, metric, digest=digest, version=version),
+            f"catalog-entry:{arch}:{metric}:{digest}:{version}",
+            hedgeable=True,
+        )

@@ -34,6 +34,8 @@ scope around the loop observes the whole service.
 from __future__ import annotations
 
 import asyncio
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -62,6 +64,7 @@ __all__ = [
     "ServiceBusy",
     "ServiceError",
     "ServiceStats",
+    "TransportError",
 ]
 
 
@@ -72,6 +75,20 @@ class ServiceError(Exception):
         self.status = status
         self.payload = payload
         super().__init__(payload.get("error", f"service error {status}"))
+
+    @property
+    def retryable(self) -> bool:
+        """Whether a retry of the same request can plausibly succeed.
+
+        The payload's explicit ``retry`` flag wins; otherwise
+        backpressure (429) and unavailability (503) are retryable while
+        validation (4xx) and deterministic analysis failures (500) are
+        not — retrying a deterministic failure recomputes the same
+        failure.
+        """
+        if "retry" in self.payload:
+            return bool(self.payload["retry"])
+        return self.status in (429, 503)
 
 
 class ServiceBusy(ServiceError):
@@ -84,6 +101,30 @@ class ServiceBusy(ServiceError):
                 "error": "service overloaded: dispatch queue is full",
                 "queue_limit": queue_limit,
                 "retry": True,
+            },
+        )
+
+
+class TransportError(ServiceError):
+    """A client-side transport failure: the connection was refused,
+    reset, or timed out before a response arrived.
+
+    Raised by :class:`~repro.serve.client.CatalogClient` in place of raw
+    socket exceptions so callers can distinguish retryable transport
+    trouble from fatal application errors with one ``isinstance`` /
+    ``retryable`` check.  Always retryable — though the caller cannot
+    know whether the request executed, which is why retries must ride an
+    idempotent key (the service's request-coalescing identity).
+    """
+
+    def __init__(self, detail: str, cause: Optional[BaseException] = None):
+        super().__init__(
+            503,
+            {
+                "error": f"transport failure: {detail}",
+                "transport": True,
+                "retry": True,
+                "cause": type(cause).__name__ if cause is not None else None,
             },
         )
 
@@ -136,6 +177,7 @@ class ServiceStats:
     batches: int = 0
     rejected: int = 0
     errors: int = 0
+    stale_served: int = 0
 
     def to_payload(self) -> Dict[str, int]:
         return {
@@ -146,19 +188,33 @@ class ServiceStats:
             "batches": self.batches,
             "rejected": self.rejected,
             "errors": self.errors,
+            "stale_served": self.stale_served,
         }
 
 
 @dataclass(frozen=True)
 class ServedMetric:
-    """One answer: the catalog entry plus where it came from."""
+    """One answer: the catalog entry plus where it came from.
+
+    ``stale=True`` marks a degraded-mode answer: the service could not
+    run (or reach) a fresh analysis and served the newest stored entry
+    instead, within the configured freshness bound.  A stale answer is
+    *explicitly* stale — the serving tier's invariant is that every
+    response is bit-identical to the fault-free answer, marked stale, or
+    a typed error; never a silently wrong coefficient.
+    """
 
     entry: CatalogEntry
     source: str  # "catalog" | "pipeline"
+    stale: bool = False
+    stale_age: Optional[float] = None  # seconds since the entry was stored
 
     def to_payload(self) -> Dict[str, Any]:
         payload = self.entry.to_payload()
         payload["source"] = self.source
+        payload["stale"] = self.stale
+        if self.stale:
+            payload["stale_age_seconds"] = self.stale_age
         return payload
 
 
@@ -194,6 +250,12 @@ class MetricService:
         injected-fault attempts; per-task timeout needs a pool executor
         and is therefore only honoured when ``engine_executor`` is not
         serial).
+    stale_max_age:
+        Graceful-degradation gate: when the dispatch queue is full, an
+        unfaulted request whose metrics exist in the catalog (any
+        version no older than this many seconds, freshness checks
+        waived) is answered with ``stale=True`` instead of a 429.
+        ``None`` (default) disables stale serving — saturation rejects.
     runner:
         Test seam: a callable ``(List[SweepTask]) -> List[SweepOutcome]``
         replacing the engine dispatch.
@@ -209,6 +271,7 @@ class MetricService:
         cache_dir: Optional[str] = None,
         retries: int = 1,
         task_timeout: Optional[float] = None,
+        stale_max_age: Optional[float] = None,
         runner=None,
     ):
         require_int(workers, "workers", "MetricService", minimum=1)
@@ -221,6 +284,7 @@ class MetricService:
         self.cache_dir = cache_dir
         self.retries = retries
         self.task_timeout = task_timeout
+        self.stale_max_age = stale_max_age
         self.stats = ServiceStats()
         self._engine = SweepEngine(
             executor="serial",
@@ -242,6 +306,12 @@ class MetricService:
         self._domain_deps: Dict[Tuple[str, int, str], Dict[str, str]] = {}
         self._started = False
         self._stopping = False
+        # Unique per instance so stop() can join exactly this service's
+        # worker threads by name.
+        self._thread_prefix = f"repro-serve-{id(self):x}"
+        #: Set by stop(): whether every worker thread joined within the
+        #: drain timeout (None before the first stop).
+        self.drained_clean: Optional[bool] = None
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> None:
@@ -250,7 +320,7 @@ class MetricService:
             return
         self._queue = asyncio.Queue(maxsize=self.queue_limit)
         self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="repro-serve"
+            max_workers=self.workers, thread_name_prefix=self._thread_prefix
         )
         self._worker_tasks = [
             asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
@@ -259,10 +329,12 @@ class MetricService:
         self._started = True
         self._stopping = False
 
-    async def stop(self) -> None:
-        """Cancel workers and resolve every pending request with a
+    async def stop(self, *, drain_timeout: float = 10.0) -> None:
+        """Cancel workers, resolve every pending request with a
         structured shutdown error — a stopping service never hangs a
-        client."""
+        client — then join the worker threads (bounded by
+        ``drain_timeout``; ``drained_clean`` records whether every
+        thread exited in time)."""
         if not self._started:
             return
         self._stopping = True
@@ -277,9 +349,27 @@ class MetricService:
         for job in list(self._inflight.values()):
             self._resolve_error(job, shutdown)
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            pool = self._pool
             self._pool = None
+            pool.shutdown(wait=False, cancel_futures=True)
+            # Join off the loop thread: an in-flight batch may take a
+            # moment to notice the shutdown, and blocking the loop here
+            # would stall other servers sharing it.
+            self.drained_clean = await asyncio.get_running_loop().run_in_executor(
+                None, self._join_worker_threads, drain_timeout
+            )
         self._started = False
+
+    def _join_worker_threads(self, timeout: float) -> bool:
+        """Join every pool thread of this service; True when all exited."""
+        deadline = time.monotonic() + timeout
+        for thread in threading.enumerate():
+            if thread.name.startswith(self._thread_prefix):
+                thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        return not any(
+            thread.name.startswith(self._thread_prefix) and thread.is_alive()
+            for thread in threading.enumerate()
+        )
 
     @property
     def ready(self) -> bool:
@@ -407,6 +497,14 @@ class MetricService:
             try:
                 self._queue.put_nowait(job)
             except asyncio.QueueFull:
+                stale = self._stale_from_catalog(request)
+                if stale is not None:
+                    # Graceful degradation: a saturated service answers
+                    # with the newest stored definition, explicitly
+                    # marked stale, instead of turning load into 429s.
+                    self.stats.stale_served += 1
+                    tracer.incr("serve.stale_served")
+                    return stale
                 self.stats.rejected += 1
                 tracer.incr("serve.rejected")
                 raise ServiceBusy(self.queue_limit) from None
@@ -448,6 +546,38 @@ class MetricService:
                 return None
             entries[signature.name] = entry
         return entries
+
+    def _stale_from_catalog(
+        self, request: AnalysisRequest
+    ) -> Optional[Dict[str, ServedMetric]]:
+        """Degraded-mode read: every metric of the domain from the
+        newest loadable stored versions, freshness checks waived, gated
+        by ``stale_max_age`` — or None when disabled, faulted, or any
+        metric is missing/too old (the caller then fails loudly)."""
+        if (
+            self.store is None
+            or self.stale_max_age is None
+            or request.faults is not None
+        ):
+            return None
+        from repro.core.signatures import signatures_for
+
+        arch, _ = self._node_identity(request.system, request.seed)
+        config_digest = analysis_config_digest(
+            request.domain, request.seed, self._config_for(request.domain)
+        )
+        served: Dict[str, ServedMetric] = {}
+        for signature in signatures_for(request.domain):
+            found = self.store.stale_latest(
+                arch, signature.name, config_digest, max_age=self.stale_max_age
+            )
+            if found is None:
+                return None
+            entry, age = found
+            served[signature.name] = ServedMetric(
+                entry=entry, source="catalog", stale=True, stale_age=age
+            )
+        return served
 
     # -- incremental refresh ---------------------------------------------
     async def refresh(
@@ -618,9 +748,15 @@ class MetricService:
             )
         }
         if self.store is not None and job.request.faults is None:
-            entries = {
-                name: self.store.put(entry) for name, entry in entries.items()
-            }
+            try:
+                entries = {
+                    name: self.store.put(entry) for name, entry in entries.items()
+                }
+            except OSError:
+                # A sick catalog disk must not fail a successful
+                # analysis: serve the computed (unpersisted) entries and
+                # count the store failure loudly.
+                tracer.incr("serve.catalog_store_errors")
         self._inflight.pop(job.request.key, None)
         if not job.future.done():
             job.future.set_result(entries)

@@ -1,0 +1,119 @@
+"""Tests for the serve-layer chaos model (repro.faults.chaos)."""
+
+import pytest
+
+from repro.faults import ChaosConfig, ChaosInjector, parse_chaos_spec
+
+
+class TestChaosConfig:
+    def test_default_injects_nothing(self):
+        config = ChaosConfig()
+        assert not config.enabled
+        injector = ChaosInjector(config)
+        assert not injector.fires("worker-kill", "dispatch:1")
+        assert injector.latency("request:w0:1") == 0.0
+        assert injector.catalog_failpoint("catalog.publish:x") is None
+        assert injector.records == []
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="worker_kill_rate"):
+            ChaosConfig(worker_kill_rate=1.5)
+        with pytest.raises(ValueError, match="latency_seconds"):
+            ChaosConfig(latency_seconds=-1.0)
+
+    def test_enabled_flags_any_nonzero_rate(self):
+        assert ChaosConfig(socket_drop_rate=0.01).enabled
+        assert not ChaosConfig(seed=7, hang_seconds=9.0).enabled
+
+    def test_describe_names_nonzero_knobs(self):
+        text = ChaosConfig(seed=3, torn_publication_rate=0.5).describe()
+        assert "seed=3" in text
+        assert "torn_publication_rate=0.5" in text
+        assert "socket_drop_rate" not in text
+
+
+class TestParseChaosSpec:
+    def test_aliases_round_trip(self):
+        config = parse_chaos_spec(
+            "seed=7,kill=0.2,hang=0.1,torn=0.3,unlogged=0.05,drop=0.1,"
+            "latency=0.5,latency_seconds=0.01"
+        )
+        assert config.seed == 7
+        assert config.worker_kill_rate == 0.2
+        assert config.worker_hang_rate == 0.1
+        assert config.torn_publication_rate == 0.3
+        assert config.unlogged_publication_rate == 0.05
+        assert config.socket_drop_rate == 0.1
+        assert config.latency_rate == 0.5
+        assert config.latency_seconds == 0.01
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos spec key"):
+            parse_chaos_spec("explode=1.0")
+
+    def test_bad_term_rejected(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            parse_chaos_spec("kill")
+
+
+class TestChaosInjector:
+    def test_decisions_are_deterministic_per_site(self):
+        config = ChaosConfig(seed=11, socket_drop_rate=0.5)
+        first = [
+            ChaosInjector(config).fires("socket-drop", f"request:w0:{i}")
+            for i in range(40)
+        ]
+        second = [
+            ChaosInjector(config).fires("socket-drop", f"request:w0:{i}")
+            for i in range(40)
+        ]
+        assert first == second
+        assert any(first) and not all(first)  # rate 0.5 actually mixes
+
+    def test_decisions_are_order_independent(self):
+        config = ChaosConfig(seed=5, worker_kill_rate=0.4)
+        forward = ChaosInjector(config)
+        backward = ChaosInjector(config)
+        sites = [f"dispatch:{i}" for i in range(20)]
+        a = {s: forward.fires("worker-kill", s) for s in sites}
+        b = {s: backward.fires("worker-kill", s) for s in reversed(sites)}
+        assert a == b
+
+    def test_seed_changes_decisions(self):
+        sites = [f"dispatch:{i}" for i in range(60)]
+        a = [ChaosInjector(ChaosConfig(seed=1, worker_kill_rate=0.5)).fires(
+            "worker-kill", s) for s in sites]
+        b = [ChaosInjector(ChaosConfig(seed=2, worker_kill_rate=0.5)).fires(
+            "worker-kill", s) for s in sites]
+        assert a != b
+
+    def test_unknown_kind_raises(self):
+        injector = ChaosInjector(ChaosConfig(seed=1))
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            injector.fires("meteor-strike", "dispatch:1")
+
+    def test_records_audit_every_injection(self):
+        injector = ChaosInjector(ChaosConfig(seed=11, socket_drop_rate=1.0))
+        assert injector.fires("socket-drop", "request:w0:1")
+        assert injector.fires("socket-drop", "request:w0:2")
+        kinds = [r.kind for r in injector.records]
+        sites = [r.context for r in injector.records]
+        assert kinds == ["chaos-socket-drop"] * 2
+        assert sites == ["request:w0:1", "request:w0:2"]
+
+    def test_latency_returns_configured_seconds(self):
+        injector = ChaosInjector(
+            ChaosConfig(seed=1, latency_rate=1.0, latency_seconds=0.25)
+        )
+        assert injector.latency("request:w0:1") == 0.25
+
+    def test_catalog_failpoint_maps_to_actions(self):
+        torn = ChaosInjector(ChaosConfig(seed=1, torn_publication_rate=1.0))
+        assert torn.catalog_failpoint("catalog.publish:a:m:d:v0001") == "torn"
+        unlogged = ChaosInjector(
+            ChaosConfig(seed=1, unlogged_publication_rate=1.0)
+        )
+        assert (
+            unlogged.catalog_failpoint("catalog.publish:a:m:d:v0001")
+            == "unlogged"
+        )

@@ -325,7 +325,7 @@ class TestLifecycle:
                 service.analyze("aurora", "branch", seed=99)
             )
             await asyncio.sleep(0)
-            await service.stop()
+            await service.stop(drain_timeout=0.2)
             release.set()
             for fut in (pending, queued):
                 with pytest.raises(ServiceError) as err:
@@ -348,6 +348,7 @@ class TestLifecycle:
                 "batches",
                 "rejected",
                 "errors",
+                "stale_served",
             }
             assert isinstance(health["counters"], dict)
 
@@ -456,5 +457,186 @@ class TestRefreshHook:
             with pytest.raises(ServiceError) as err:
                 await service.refresh("aurora")
             assert err.value.status == 503
+
+        run_async(body())
+
+
+class TestStopRace:
+    """S3: stop() racing in-flight batches must drain cleanly — pending
+    requests resolve 503, worker threads join, no staging litter."""
+
+    def test_stop_joins_worker_threads(self, tmp_path):
+        async def body():
+            service = MetricService(cache_dir=str(tmp_path / "cache"))
+            await service.start()
+            await service.analyze("aurora", "branch")
+            await service.stop(drain_timeout=10.0)
+            assert service.drained_clean is True
+            lingering = [
+                t.name
+                for t in threading.enumerate()
+                if t.name.startswith(service._thread_prefix)
+            ]
+            assert lingering == []
+
+        run_async(body())
+
+    def test_stop_with_hung_runner_reports_unclean_drain(self):
+        release = threading.Event()
+        started = threading.Event()
+
+        def runner(tasks):
+            started.set()
+            release.wait(timeout=30)
+            return []
+
+        async def body():
+            service = MetricService(
+                workers=1, queue_limit=2, batch_size=1, runner=runner
+            )
+            await service.start()
+            loop = asyncio.get_running_loop()
+            pending = asyncio.ensure_future(service.analyze("aurora", "branch"))
+            await loop.run_in_executor(None, started.wait)
+            await service.stop(drain_timeout=0.2)
+            # The runner thread is still wedged: the drain must say so
+            # instead of pretending the shutdown was clean.
+            assert service.drained_clean is False
+            release.set()
+            with pytest.raises(ServiceError):
+                await pending
+
+        run_async(body())
+
+    def test_stop_midflight_leaves_no_staging_litter(self, tmp_path):
+        async def body():
+            store = MetricCatalogStore(tmp_path / "catalog")
+            service = MetricService(store, cache_dir=str(tmp_path / "cache"))
+            await service.start()
+            pending = asyncio.ensure_future(service.analyze("aurora", "branch"))
+            await asyncio.sleep(0.05)  # let the batch reach the pool
+            await service.stop(drain_timeout=10.0)
+            try:
+                await pending
+            except ServiceError:
+                pass  # resolved 503 mid-flight: acceptable
+            staged = list((tmp_path / "catalog").rglob("*.staged"))
+            assert staged == []
+            # Whatever was published is readable and fscks clean.
+            assert MetricCatalogStore(tmp_path / "catalog").fsck().clean
+
+        run_async(body())
+
+
+class TestStaleDegradation:
+    """Graceful degradation: a saturated service serves the newest
+    catalog entries stamped stale instead of rejecting — opt-in via
+    stale_max_age, never for faulted requests."""
+
+    async def _saturated_service(self, store, release, started, **kwargs):
+        def runner(tasks):
+            started.set()
+            release.wait(timeout=30)
+            return []
+
+        service = MetricService(
+            store,
+            workers=1,
+            queue_limit=1,
+            batch_size=1,
+            runner=runner,
+            **kwargs,
+        )
+        # Simulate invalidated fresh reads (a registry edit, a dependency
+        # digest mismatch): the strict catalog path misses, so requests
+        # hit the queue — while the freshness-waiving stale path can
+        # still load the stored entries.
+        service._from_catalog = lambda request: None
+        await service.start()
+        loop = asyncio.get_running_loop()
+        # One request wedged in the worker, one filling the queue.
+        asyncio.ensure_future(service.analyze("aurora", "branch", seed=99))
+        await loop.run_in_executor(None, started.wait)
+        asyncio.ensure_future(service.analyze("aurora", "branch", seed=98))
+        await asyncio.sleep(0)
+        return service
+
+    def _populate(self, tmp_path):
+        store = MetricCatalogStore(tmp_path / "catalog")
+
+        async def fill():
+            service = MetricService(store, cache_dir=str(tmp_path / "cache"))
+            await service.start()
+            await service.analyze("aurora", "branch")
+            await service.stop(drain_timeout=5.0)
+
+        run_async(fill())
+        return store
+
+    def test_saturated_service_serves_stale(self, tmp_path):
+        store = self._populate(tmp_path)
+        release, started = threading.Event(), threading.Event()
+
+        async def body():
+            service = await self._saturated_service(
+                store, release, started, stale_max_age=3600.0
+            )
+            with obs.tracing(seed=0) as trace:
+                served = await service.analyze("aurora", "branch")
+            release.set()
+            assert served
+            for metric in served.values():
+                assert metric.stale is True
+                assert metric.source == "catalog"
+                payload = metric.to_payload()
+                assert payload["stale"] is True
+                assert payload["stale_age_seconds"] >= 0.0
+            assert service.stats.stale_served == 1
+            assert trace.counters["serve.stale_served"] == 1
+            await service.stop(drain_timeout=0.5)
+
+        run_async(body())
+
+    def test_stale_serving_is_opt_in(self, tmp_path):
+        store = self._populate(tmp_path)
+        release, started = threading.Event(), threading.Event()
+
+        async def body():
+            service = await self._saturated_service(store, release, started)
+            with pytest.raises(ServiceBusy):
+                await service.analyze("aurora", "branch")
+            release.set()
+            assert service.stats.stale_served == 0
+            await service.stop(drain_timeout=0.5)
+
+        run_async(body())
+
+    def test_faulted_requests_never_get_stale_answers(self, tmp_path):
+        store = self._populate(tmp_path)
+        release, started = threading.Event(), threading.Event()
+
+        async def body():
+            service = await self._saturated_service(
+                store, release, started, stale_max_age=3600.0
+            )
+            with pytest.raises(ServiceBusy):
+                await service.analyze("aurora", "branch", faults="crash=1.0")
+            release.set()
+            await service.stop(drain_timeout=0.5)
+
+        run_async(body())
+
+    def test_empty_catalog_still_rejects(self, tmp_path):
+        store = MetricCatalogStore(tmp_path / "empty")
+        release, started = threading.Event(), threading.Event()
+
+        async def body():
+            service = await self._saturated_service(
+                store, release, started, stale_max_age=3600.0
+            )
+            with pytest.raises(ServiceBusy):
+                await service.analyze("aurora", "branch")
+            release.set()
+            await service.stop(drain_timeout=0.5)
 
         run_async(body())

@@ -1,0 +1,182 @@
+"""Tests for the supervised worker pool (real processes, real sockets).
+
+These spin actual spawn-context worker processes, so they are the
+slowest tests in the suite; each test covers several behaviours to keep
+the process-spawn count down.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.pipeline import AnalysisPipeline
+from repro.hardware import aurora_node
+from repro.io.cache import event_set_digest
+from repro.serve import (
+    MetricCatalogStore,
+    ResilientCatalogClient,
+    RetryPolicy,
+    ServiceSupervisor,
+    SupervisorConfig,
+    SupervisorServer,
+)
+from repro.serve.catalog import entries_from_result
+
+METRIC = "Mispredicted Branches."
+
+
+def _await_live(supervisor, want, budget=30.0):
+    deadline = time.time() + budget
+    while time.time() < deadline:
+        if supervisor.status()["live"] >= want:
+            return True
+        time.sleep(0.2)
+    return False
+
+
+class TestSupervisorConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(workers=0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(restart_intensity=0)
+
+
+class TestSupervisedServing:
+    def test_pool_serves_survives_kill_and_degrades(self, tmp_path):
+        """One pool exercise: serve -> SIGKILL one worker (request is
+        re-dispatched, worker restarts within budget) -> kill every
+        worker (stale fallback from the supervisor's catalog view)."""
+        supervisor = ServiceSupervisor(
+            str(tmp_path / "catalog"),
+            cache_dir=str(tmp_path / "cache"),
+            config=SupervisorConfig(
+                workers=2,
+                heartbeat_timeout=2.0,
+                backoff_base=0.1,
+                backoff_max=0.5,
+                stale_max_age=3600.0,
+            ),
+        )
+        front = SupervisorServer(supervisor)
+
+        async def body():
+            port = await front.start()
+            client = ResilientCatalogClient(
+                [("127.0.0.1", port)],
+                retry=RetryPolicy(max_attempts=6, backoff_base=0.05),
+                breaker_factory=None,
+            )
+            loop = asyncio.get_running_loop()
+
+            def metric():
+                return client.metric("aurora", "branch", METRIC)
+
+            def status():
+                return client._call(
+                    lambda c: c._request("GET", "/supervisor/status"), "status"
+                )
+
+            # 1. Healthy pool serves and publishes to the shared catalog.
+            first = await loop.run_in_executor(None, metric)
+            assert first["metric"] == METRIC
+            assert first["stale"] is False
+            payload = await loop.run_in_executor(None, status)
+            assert payload["live"] == 2
+            assert {w["state"] for w in payload["workers"]} == {"live"}
+
+            # 2. SIGKILL one worker: the request rides a re-dispatch to
+            # the survivor, and the slot restarts within budget.
+            supervisor.slots[0].process.kill()
+            second = await loop.run_in_executor(None, metric)
+            assert second["stale"] is False
+            assert second["metric"] == METRIC
+            recovered = await loop.run_in_executor(
+                None, _await_live, supervisor, 2
+            )
+            assert recovered, "killed worker did not restart within budget"
+            assert supervisor.status()["workers"][0]["restarts"] >= 1
+
+            # 3. Total outage: every response degrades to an explicit
+            # stale catalog answer rather than an error or a lie.
+            for slot in supervisor.slots:
+                slot.process.kill()
+            await asyncio.sleep(0.1)
+            third = await loop.run_in_executor(None, metric)
+            assert third["stale"] is True
+            assert third["source"] == "catalog"
+            assert third["stale_age_seconds"] >= 0.0
+            assert third["degraded"] == "no live workers"
+            # The definition itself is the one the pool published.
+            assert third["coefficients_hex"] == first["coefficients_hex"]
+
+            await front.stop()
+
+        asyncio.run(body())
+
+    def test_restart_intensity_cap_marks_slot_failed(self, tmp_path):
+        supervisor = ServiceSupervisor(
+            None,
+            cache_dir=str(tmp_path / "cache"),
+            config=SupervisorConfig(
+                workers=1,
+                heartbeat_timeout=2.0,
+                backoff_base=0.05,
+                backoff_max=0.1,
+                restart_intensity=2,
+                restart_window=60.0,
+                worker_start_timeout=30.0,
+            ),
+        )
+        supervisor._exit_after = 0.05  # test seam: workers self-destruct
+        supervisor.start()
+        try:
+            deadline = time.time() + 60.0
+            while time.time() < deadline:
+                if supervisor.slots[0].state == "failed":
+                    break
+                time.sleep(0.2)
+            assert supervisor.slots[0].state == "failed"
+            # 2 allowed restarts + the tripping one.
+            assert len(supervisor.slots[0].restarts) == 3
+        finally:
+            supervisor.stop()
+
+    def test_startup_fsck_quarantines_torn_publication(self, tmp_path):
+        node = aurora_node(seed=7)
+        result = AnalysisPipeline.for_domain("branch", node).run()
+        entries = entries_from_result(
+            result,
+            arch=node.name,
+            seed=7,
+            events_digest=event_set_digest(node.events),
+        )
+        torn_store = MetricCatalogStore(
+            tmp_path / "catalog", failpoint=lambda s: "torn"
+        )
+        torn_store.put(entries[0])
+
+        supervisor = ServiceSupervisor(
+            str(tmp_path / "catalog"),
+            cache_dir=str(tmp_path / "cache"),
+            config=SupervisorConfig(workers=1),
+        )
+        supervisor.start()
+        try:
+            assert supervisor.fsck_report is not None
+            assert len(supervisor.fsck_report.quarantined) == 1
+            # And the repaired store now fscks clean.
+            assert MetricCatalogStore(tmp_path / "catalog").fsck().clean
+        finally:
+            supervisor.stop()
+
+    def test_status_is_json_serializable(self, tmp_path):
+        import json
+
+        supervisor = ServiceSupervisor(
+            str(tmp_path / "catalog"),
+            config=SupervisorConfig(workers=1),
+        )
+        # Status must serialize even before start (no processes yet).
+        json.dumps(supervisor.status())
