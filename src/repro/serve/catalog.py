@@ -839,21 +839,27 @@ class MetricCatalogStore:
             )
             for r in records
         }
+        relog: List[CatalogEntry] = []
         for key, entry in sorted(on_disk.items()):
             if key not in logged:
                 report.relogged.append(
                     f"{key[0]}/{key[1]}/{key[2]}/v{key[3]:04d}"
                 )
-                if repair:
-                    self._append_log(entry, entry.content_digest())
+                relog.append(entry)
         for key in sorted(logged):
             if key not in on_disk and all(v is not None for v in key):
                 report.orphaned_records.append(
                     f"{key[0]}/{key[1]}/{key[2]}/v{key[3]:04d}"
                 )
-        if repair and bad_lines:
-            # Rewrite the log without the torn lines (atomic + durable).
-            self._rewrite_log(records)
+        if repair:
+            if bad_lines:
+                # Rewrite the log without the torn lines (atomic +
+                # durable) *before* re-appending unlogged versions —
+                # rewriting from the pre-append snapshot would discard
+                # the records appended below.
+                self._rewrite_log(records)
+            for entry in relog:
+                self._append_log(entry, entry.content_digest())
         get_tracer().incr("catalog.fsck.runs")
         return report
 

@@ -272,8 +272,8 @@ class ResilientCatalogClient:
         breaker = self._breakers[endpoint]
         if breaker is not None and not breaker.allow():
             raise BreakerOpen(f"{endpoint[0]}:{endpoint[1]}", breaker.open_for)
-        client = self._transport(endpoint[0], endpoint[1], attempt_timeout)
         try:
+            client = self._transport(endpoint[0], endpoint[1], attempt_timeout)
             result = op(client)
         except ServiceError as exc:
             if breaker is not None:
@@ -284,6 +284,13 @@ class ResilientCatalogClient:
                     breaker.record_failure()
                 else:
                     breaker.record_success()
+            raise
+        except BaseException:
+            # Any other exception must still settle the breaker: a
+            # half-open probe that never reports back would leave
+            # allow() False forever, bricking the endpoint.
+            if breaker is not None:
+                breaker.record_failure()
             raise
         if breaker is not None:
             breaker.record_success()
@@ -342,7 +349,8 @@ class ResilientCatalogClient:
         wins, the loser's result is discarded (idempotency makes that
         safe)."""
         replica = self.endpoints[attempt % len(self.endpoints)]
-        with ThreadPoolExecutor(max_workers=2) as pool:
+        pool = ThreadPoolExecutor(max_workers=2)
+        try:
             futures: List[Future] = [
                 pool.submit(self._attempt, primary, op, attempt_timeout)
             ]
@@ -364,6 +372,12 @@ class ResilientCatalogClient:
                         first_error = error
             assert first_error is not None
             raise first_error
+        finally:
+            # No wait: the winner must return even while the loser is
+            # still hung on its socket (that's the whole point of the
+            # hedge).  The discarded attempt's breaker bookkeeping still
+            # runs to completion in its thread.
+            pool.shutdown(wait=False)
 
     def _check_stale(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         if not self.accept_stale and isinstance(payload, dict) and payload.get("stale"):

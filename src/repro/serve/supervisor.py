@@ -223,6 +223,9 @@ class ServiceSupervisor:
         self._dispatched = 0
         self._redispatches = 0
         self._stale_fallbacks = 0
+        # (system, domain, seed) -> (arch, config digest), for the
+        # degraded-mode catalog read (see _request_identity).
+        self._identity_cache: Dict[Tuple[str, str, int], Tuple[str, str]] = {}
         self._chaos = None
         if chaos_spec:
             from repro.faults.chaos import ChaosInjector, parse_chaos_spec
@@ -450,7 +453,7 @@ class ServiceSupervisor:
                     self._redispatches += 1
                 get_tracer().incr("serve.redispatch")
                 continue
-        stale = self._stale_answer(method, target)
+        stale = await loop.run_in_executor(None, self._stale_answer, method, target)
         if stale is not None:
             return 200, stale
         payload = {
@@ -462,39 +465,66 @@ class ServiceSupervisor:
             payload["last_error"] = last_error.payload
         return 503, payload
 
+    def _request_identity(
+        self, system: str, domain: str, seed: int
+    ) -> Tuple[str, str]:
+        """(arch, config digest) for a request, computed exactly as the
+        workers compute it — the degraded path must read the same
+        catalog key the pool publishes under, never a neighbouring one.
+        Deterministic, so cached per (system, domain, seed)."""
+        key = (system, domain, seed)
+        identity = self._identity_cache.get(key)
+        if identity is None:
+            from dataclasses import replace
+
+            from repro.core.pipeline import DOMAIN_CONFIGS
+            from repro.core.sweep import SWEEP_SYSTEMS
+            from repro.serve.catalog import analysis_config_digest
+
+            node = SWEEP_SYSTEMS[system](seed=seed)
+            config = replace(DOMAIN_CONFIGS[domain], use_measurement_cache=True)
+            identity = (node.name, analysis_config_digest(domain, seed, config))
+            self._identity_cache[key] = identity
+        return identity
+
     def _stale_answer(self, method: str, target: str) -> Optional[Dict[str, Any]]:
         """Degraded mode: answer ``GET /v1/metric/...`` from the
         supervisor's own catalog view, stamped stale, inside the
-        freshness bound.  Returns None when not applicable."""
+        freshness bound — for exactly the requested
+        ``(system, domain, seed)``, never an entry computed for another
+        one.  Faulted requests get None (an unfaulted catalog entry
+        would be a wrong answer for a diagnostics run).  Returns None
+        when not applicable."""
         if (
             method != "GET"
             or self._store is None
             or self.config.stale_max_age is None
         ):
             return None
-        from urllib.parse import unquote, urlsplit
+        from urllib.parse import parse_qs, unquote, urlsplit
 
-        path = [unquote(p) for p in urlsplit(target).path.split("/") if p]
+        split = urlsplit(target)
+        path = [unquote(p) for p in split.path.split("/") if p]
         if len(path) != 5 or path[:2] != ["v1", "metric"]:
             return None
-        _, _, _system, _domain, metric = path
-        best: Optional[Tuple[Any, float]] = None
-        for row in self._store.list_entries():
-            if row["metric"] != metric:
-                continue
-            found = self._store.stale_latest(
-                row["arch"],
-                metric,
-                row["config_digest"],
-                max_age=self.config.stale_max_age,
-            )
-            if found is None:
-                continue
-            if best is None or found[0].version > best[0].version:
-                best = found
-        if best is None:
+        _, _, system, domain, metric = path
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        if query.get("faults"):
             return None
-        entry, age = best
+        try:
+            seed = int(query.get("seed", 2024))
+        except ValueError:
+            return None
+        try:
+            arch, config_digest = self._request_identity(system, domain, seed)
+        except KeyError:
+            return None
+        found = self._store.stale_latest(
+            arch, metric, config_digest, max_age=self.config.stale_max_age
+        )
+        if found is None:
+            return None
+        entry, age = found
         with self._lock:
             self._stale_fallbacks += 1
         get_tracer().incr("serve.stale_served")

@@ -108,6 +108,24 @@ class TestFsck:
         assert len(records) == 1
         assert records[0]["version"] == stored.version
 
+    def test_torn_tail_and_unlogged_version_repair_in_one_pass(
+        self, tmp_path, entries
+    ):
+        """Both damage shapes at once: rewriting the torn log tail must
+        not discard the just-re-appended records of unlogged versions —
+        a single fsck run leaves the store fully clean."""
+        store = MetricCatalogStore(tmp_path / "cat", failpoint=lambda s: "unlogged")
+        stored = store.put(entries[0])
+        fresh = MetricCatalogStore(tmp_path / "cat")
+        with fresh.log_path.open("a") as fh:
+            fh.write('{"arch": "half a rec')  # no newline: torn tail
+        report = fresh.fsck(repair=True)
+        assert len(report.relogged) == 1
+        assert report.log_torn_lines == 1
+        records = MetricCatalogStore(tmp_path / "cat").log_records()
+        assert [r["version"] for r in records] == [stored.version]
+        assert MetricCatalogStore(tmp_path / "cat").fsck().clean
+
     def test_staged_leftovers_are_removed(self, tmp_path, entries):
         store = MetricCatalogStore(tmp_path / "cat")
         stored = store.put(entries[0])

@@ -259,6 +259,34 @@ class TestResilientCall:
                 client.metric("aurora", "branch", "m")
         assert client.breaker(("127.0.0.1", 9001)).state == "closed"
 
+    def test_unexpected_exception_does_not_brick_half_open_breaker(self):
+        """A non-ServiceError raised during the half-open probe (a bug
+        in the transport factory, say) must still settle the breaker —
+        a leaked probe would leave allow() False forever."""
+        clock = FakeClock()
+        client, _, clock = _client(
+            {9001: [_transport_error(), RuntimeError("factory bug"), "ok"]},
+            clock=clock,
+            retry=RetryPolicy(max_attempts=1),
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=1, reset_after=5.0, clock=clock.time
+            ),
+        )
+        breaker = client.breaker(("127.0.0.1", 9001))
+        with pytest.raises(ServiceError):
+            client.metric("aurora", "branch", "m")  # trips the breaker
+        assert breaker.state == "open"
+        clock.sleep(5.1)
+        with pytest.raises(RuntimeError):
+            client.metric("aurora", "branch", "m")  # probe blows up
+        # The failed probe re-opened the breaker instead of wedging it
+        # half-open: after another reset window a new probe is admitted
+        # and its success re-closes the breaker.
+        assert breaker.state == "open"
+        clock.sleep(5.1)
+        assert client.metric("aurora", "branch", "m")["ok"] == "ok"
+        assert breaker.state == "closed"
+
     def test_accept_stale_false_rejects_stale_payloads(self):
         stale = {"metric": "m", "stale": True, "stale_age_seconds": 5.0}
         client, _, _ = _client(
@@ -322,6 +350,40 @@ class TestHedging:
         )
         client.metric("aurora", "branch", "m")
         assert ports == [9001]
+
+    def test_winner_returns_without_waiting_for_the_loser(self):
+        """The hedge's latency benefit: a hung primary must not block
+        the caller once the replica has answered (the loser keeps
+        running in its thread and is discarded)."""
+        release = threading.Event()
+        loser_finished = threading.Event()
+
+        class HungPrimary:
+            def metric(self, *a, **k):
+                release.wait(timeout=30.0)
+                loser_finished.set()
+                return {"metric": "m", "from": "primary"}
+
+        class FastReplica:
+            def metric(self, *a, **k):
+                return {"metric": "m", "from": "replica"}
+
+        def transport(host, port, timeout):
+            return HungPrimary() if port == 9001 else FastReplica()
+
+        client = ResilientCatalogClient(
+            [("127.0.0.1", 9001), ("127.0.0.1", 9002)],
+            transport=transport,
+            hedge_delay=0.05,
+            breaker_factory=None,
+        )
+        start = time.monotonic()
+        payload = client.metric("aurora", "branch", "m")
+        elapsed = time.monotonic() - start
+        release.set()
+        assert payload["from"] == "replica"
+        assert not loser_finished.is_set()  # returned while it still hung
+        assert elapsed < 5.0
 
     def test_hedged_total_failure_raises_first_error(self):
         class Broken:

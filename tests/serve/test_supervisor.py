@@ -171,6 +171,65 @@ class TestSupervisedServing:
         finally:
             supervisor.stop()
 
+    def test_stale_answer_matches_request_identity(self, tmp_path):
+        """The degraded-mode catalog read answers for exactly the
+        requested (system, domain, seed) — never an entry computed for
+        another system or seed, and never for faulted requests (an
+        unfaulted entry would be a wrong answer merely stamped stale)."""
+        from dataclasses import replace
+        from urllib.parse import quote
+
+        from repro.core.pipeline import DOMAIN_CONFIGS
+
+        node = aurora_node(seed=7)
+        config = replace(DOMAIN_CONFIGS["branch"], use_measurement_cache=True)
+        result = AnalysisPipeline.for_domain("branch", node, config=config).run()
+        store = MetricCatalogStore(tmp_path / "catalog")
+        for entry in entries_from_result(
+            result,
+            arch=node.name,
+            seed=7,
+            events_digest=event_set_digest(node.events),
+        ):
+            store.put(entry)
+
+        supervisor = ServiceSupervisor(
+            str(tmp_path / "catalog"),
+            config=SupervisorConfig(workers=1, stale_max_age=3600.0),
+        )
+        target = f"/v1/metric/aurora/branch/{quote(METRIC)}?seed=7"
+        answer = supervisor._stale_answer("GET", target)
+        assert answer is not None
+        assert answer["stale"] is True
+        assert answer["metric"] == METRIC
+
+        # A different seed is a different analysis.
+        assert (
+            supervisor._stale_answer(
+                "GET", f"/v1/metric/aurora/branch/{quote(METRIC)}?seed=2024"
+            )
+            is None
+        )
+        # Another system's entries never answer for this one.
+        assert (
+            supervisor._stale_answer(
+                "GET", f"/v1/metric/frontier/branch/{quote(METRIC)}?seed=7"
+            )
+            is None
+        )
+        # Unknown systems degrade to the 503 path, not a crash.
+        assert (
+            supervisor._stale_answer(
+                "GET", f"/v1/metric/nope/branch/{quote(METRIC)}?seed=7"
+            )
+            is None
+        )
+        # Faulted requests must never get an unfaulted stale answer.
+        assert (
+            supervisor._stale_answer("GET", target + "&faults=kill%3D0.5")
+            is None
+        )
+
     def test_status_is_json_serializable(self, tmp_path):
         import json
 
