@@ -1,0 +1,100 @@
+"""EXP-VET: counter-validation fleet sweep across perturbed configs.
+
+Runs a seeded validation campaign on every system in the fleet (SPR,
+Zen3, MI250X), each across perturbed machine configurations, and renders
+the per-system verdict census to ``results/counter_validation.md``.  A
+healthy fleet must refute nothing: every deviation between measured and
+analytically expected counts stays inside the tolerance band each
+event's own noise model predicts.  A final forged-counter campaign
+demonstrates the layer's sensitivity — the same sweep with one counter
+deliberately overcounting by 1.5x must refute exactly that counter.
+
+Timed portion: one mini-campaign per system.
+"""
+
+from repro.io.tables import write_markdown
+from repro.vet import CampaignConfig, run_campaign
+
+# (system, campaign domains): mini-campaigns keep the bench quick while
+# still exercising every probe family the system measures.
+FLEET = (
+    ("aurora", ("cpu_flops", "branch")),
+    ("frontier-cpu", ("cpu_flops", "branch")),
+    ("frontier", ("gpu_flops",)),
+)
+
+FORGE_TARGET = "FP_ARITH_INST_RETIRED:512B_PACKED_DOUBLE"
+
+_ROWS = []
+
+
+def _campaign(system, domains):
+    config = CampaignConfig(
+        seed=2024, n_configs=2, repetitions=3, domains=domains
+    )
+    return run_campaign(system, config)
+
+
+def _census_row(label, report):
+    counts = report.verdict_counts()
+    refuted = report.refuted_events()
+    return [
+        label,
+        report.arch,
+        ", ".join(report.domains),
+        counts["accurate"],
+        counts["unvetted"],
+        len(refuted),
+        ", ".join(refuted) or "none",
+    ]
+
+
+def test_spr_fleet_campaign_refutes_nothing(benchmark):
+    report = benchmark(lambda: _campaign("aurora", ("cpu_flops", "branch")))
+    assert not report.refuted_events(), report.summary()
+    _ROWS.append(_census_row("aurora (healthy)", report))
+
+
+def test_zen3_fleet_campaign_refutes_nothing(benchmark):
+    report = benchmark(
+        lambda: _campaign("frontier-cpu", ("cpu_flops", "branch"))
+    )
+    assert not report.refuted_events(), report.summary()
+    _ROWS.append(_census_row("frontier-cpu (healthy)", report))
+
+
+def test_mi250x_fleet_campaign_refutes_nothing(benchmark):
+    report = benchmark(lambda: _campaign("frontier", ("gpu_flops",)))
+    assert not report.refuted_events(), report.summary()
+    _ROWS.append(_census_row("frontier (healthy)", report))
+
+
+def test_forged_counter_is_refuted(benchmark):
+    config = CampaignConfig(
+        seed=2024, n_configs=2, repetitions=3, domains=("cpu_flops",)
+    )
+    forge = {FORGE_TARGET: ("overcount", 1.5)}
+    report = benchmark(lambda: run_campaign("aurora", config, forge=forge))
+    assert report.refuted_events() == [FORGE_TARGET], report.summary()
+    assert report.verdicts[FORGE_TARGET].verdict == "overcounting"
+    _ROWS.append(_census_row("aurora (forged x1.5)", report))
+
+
+def test_write_counter_validation_table(results_dir):
+    assert _ROWS, "no campaign rows collected"
+    path = write_markdown(
+        results_dir / "counter_validation.md",
+        [
+            "campaign",
+            "arch",
+            "domains",
+            "accurate",
+            "unvetted",
+            "refuted",
+            "refuted events",
+        ],
+        _ROWS,
+        title="EXP-VET: counter-validation fleet sweep "
+        "(2 perturbed configs per system, seed 2024)",
+    )
+    assert "refuted" in path.read_text()

@@ -18,7 +18,27 @@ from repro.activity import fp_instr_key
 from repro.core.validation import validate_definition
 from repro.hardware import ComputeKernel
 from repro.hardware.branch import BranchSpec
-from repro.io.tables import write_csv
+from repro.io.tables import write_csv, write_markdown
+
+# Rows for the cross-domain markdown summary: each validation test appends
+# here and the last test in the module renders results/validation_summary.md
+# (floats route through io.tables.format_float, so the artifact is stable
+# across numpy versions).
+_SUMMARY_ROWS = []
+
+
+def _record_summary(domain, validations, expectation):
+    for v in validations:
+        _SUMMARY_ROWS.append(
+            [
+                domain,
+                v.metric,
+                len(v.cases),
+                v.max_rel_error,
+                expectation,
+                "PASS" if v.passed else "FAIL",
+            ]
+        )
 
 
 def _random_fp_workloads(node, n=10, seed=42):
@@ -73,6 +93,7 @@ def test_flops_metrics_validate_on_unseen_mixes(
     for v in validations:
         rows.append([v.metric, len(v.cases), v.max_rel_error, "PASS" if v.passed else "FAIL"])
         assert v.passed, v.summary()
+    _record_summary("cpu_flops", validations, "must pass")
     write_csv(
         results_dir / "ext_validation_cpu_flops.csv",
         ["metric", "workloads", "max_rel_error", "status"],
@@ -98,6 +119,7 @@ def test_branch_metrics_validate_on_unseen_patterns(
     for v in validations:
         rows.append([v.metric, len(v.cases), v.max_rel_error, "PASS" if v.passed else "FAIL"])
         assert v.passed, v.summary()
+    _record_summary("branch", validations, "must pass")
     write_csv(
         results_dir / "ext_validation_branch.csv",
         ["metric", "workloads", "max_rel_error", "status"],
@@ -115,3 +137,21 @@ def test_uncomposable_fma_fails_validation(benchmark, aurora, cpu_flops_result):
     )
     assert not validation.passed
     assert validation.max_rel_error > 0.05
+    _record_summary("cpu_flops", [validation], "must fail")
+
+
+def test_write_validation_summary(results_dir):
+    """Render the cross-domain summary the per-domain CSVs never had.
+
+    Runs last in the module (pytest preserves definition order), so every
+    validation test above has contributed its rows.
+    """
+    assert _SUMMARY_ROWS, "no validation rows collected"
+    path = write_markdown(
+        results_dir / "validation_summary.md",
+        ["domain", "metric", "workloads", "max_rel_error", "expectation", "status"],
+        _SUMMARY_ROWS,
+        title="EXP-EXT2: metric validation on unseen workloads",
+    )
+    text = path.read_text()
+    assert "| domain" in text

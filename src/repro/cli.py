@@ -10,6 +10,9 @@ Usage::
     repro-cat sweep --systems aurora,frontier-cpu --domains cpu_flops,branch
     repro-cat serve --catalog ./catalog --cache-dir ./cache
     repro-cat catalog list --root ./catalog
+    repro-cat vet run --system aurora --output vet.json
+    repro-cat run --domain branch --priors vet.json
+    repro-cat vet drift --root ./catalog
 
 Exit codes follow one convention across every verb: 0 success, 1 the
 analysis itself failed (failed sweep task, strict-mode guard violation,
@@ -105,6 +108,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="record an observability trace of the run and write it as "
         "JSONL (render it with: repro-cat trace PATH)",
+    )
+    run.add_argument(
+        "--priors",
+        metavar="PATH",
+        default=None,
+        help="validation report (from: repro-cat vet run --output) whose "
+        "verdicts gate the analysis: refuted events are excluded before "
+        "QRCP selection and every metric carries the vet evidence",
     )
 
     noise = sub.add_parser("noise", help="Fig 2-style variability plot")
@@ -363,6 +374,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cat_list.add_argument("--root", required=True, metavar="DIR")
     cat_list.add_argument("--arch", default=None, help="filter by architecture")
+    cat_list.add_argument(
+        "--stale-only",
+        action="store_true",
+        help="only keys whose recorded event-dependency digests no longer "
+        "match the live registry (candidates for revalidation)",
+    )
     cat_show = catalog_sub.add_parser(
         "show", help="one stored metric definition, bit-exact"
     )
@@ -392,6 +409,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--digest",
         default=None,
         help="config digest (only needed when several are stored)",
+    )
+    cat_diff.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable structured diff (the format repro-cat vet "
+        "drift consumes) instead of the rendered text",
     )
     cat_fsck = catalog_sub.add_parser(
         "fsck",
@@ -440,6 +463,82 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="on-disk measurement cache for per-column reuse",
     )
+
+    vet = sub.add_parser(
+        "vet",
+        help="counter validation: refute lying events before they define "
+        "metrics, and detect drift across catalog versions",
+    )
+    vet_sub = vet.add_subparsers(dest="vet_command", required=True)
+    vet_run = vet_sub.add_parser(
+        "run",
+        help="validation campaign: run known-activity probes across "
+        "perturbed configs and hand down per-event verdicts",
+    )
+    vet_run.add_argument("--system", required=True, choices=sorted(SWEEP_SYSTEMS))
+    vet_run.add_argument("--seed", type=int, default=2024)
+    vet_run.add_argument(
+        "--configs",
+        type=int,
+        default=3,
+        help="perturbed configurations per probe (seed and repetition "
+        "jitter; default 3)",
+    )
+    vet_run.add_argument(
+        "--repetitions", type=int, default=None, help="base repetitions"
+    )
+    vet_run.add_argument(
+        "--domains",
+        nargs="+",
+        default=None,
+        metavar="DOMAIN",
+        help="restrict the probe set to these domains (default: every "
+        "domain the system measures)",
+    )
+    vet_run.add_argument(
+        "--forge",
+        action="append",
+        default=None,
+        metavar="EVENT=KIND[:FACTOR]",
+        help="forge an event before the campaign (kinds: overcount, "
+        "undercount, multicount, unreliable) — the self-test substrate; "
+        "repeatable",
+    )
+    vet_run.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="write the validation report as JSON (feed it back via "
+        "run --priors)",
+    )
+    vet_run.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
+    vet_report = vet_sub.add_parser(
+        "report", help="render a saved validation report"
+    )
+    vet_report.add_argument("path", metavar="PATH", help="report JSON file")
+    vet_report.add_argument(
+        "--json", action="store_true", help="re-emit the canonical JSON"
+    )
+    vet_drift = vet_sub.add_parser(
+        "drift",
+        help="scan a catalog's version history for drift anomalies "
+        "(coefficient drift, trust transitions, verdict flips); exit 1 "
+        "when anything is flagged",
+    )
+    vet_drift.add_argument("--root", required=True, metavar="DIR")
+    vet_drift.add_argument("--arch", default=None, help="filter by architecture")
+    vet_drift.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    vet_smoke = vet_sub.add_parser(
+        "smoke",
+        help="seeded end-to-end scenario: a forged overcounting event "
+        "must be refuted and excluded while a healthy catalog stays "
+        "bit-identical",
+    )
+    vet_smoke.add_argument("--seed", type=int, default=2024)
     return parser
 
 
@@ -497,6 +596,8 @@ def _validate_args(args) -> None:
             v.require_int(args.batch_size, "--batch-size", context, minimum=1)
         if getattr(args, "port", None) is not None:
             v.require_int(args.port, "--port", context, minimum=0)
+        if getattr(args, "configs", None) is not None:
+            v.require_int(args.configs, "--configs", context, minimum=1)
     except ValidationError as exc:
         raise _usage_exit(str(exc))
 
@@ -607,7 +708,19 @@ def _catalog_main(args) -> int:
     store = MetricCatalogStore(args.root)
 
     if args.catalog_command == "list":
-        rows = store.list_entries(args.arch)
+        if args.stale_only:
+            from repro.vet import stale_entry_rows
+
+            registries = {
+                factory(seed=0).name: factory(seed=0).events
+                for factory in SWEEP_SYSTEMS.values()
+            }
+            rows = stale_entry_rows(store, registries, arch=args.arch)
+            if not rows:
+                print("(no stale entries: every key matches the live registry)")
+                return 0
+        else:
+            rows = store.list_entries(args.arch)
         if not rows:
             print("(catalog is empty)")
             return 0
@@ -625,6 +738,8 @@ def _catalog_main(args) -> int:
                 f"({row['versions']} version(s))  err={row['error']:.2e}  "
                 f"trust={trust}{suffix}"
             )
+            if "stale_reason" in row:
+                print(f"    STALE: {row['stale_reason']}")
         return 0
 
     if args.catalog_command == "fsck":
@@ -682,8 +797,85 @@ def _catalog_main(args) -> int:
         )
     except KeyError as exc:
         raise _usage_exit(f"repro-cat catalog: {exc.args[0]}")
-    print(diff.render())
+    if args.json:
+        import json
+
+        print(json.dumps(diff.to_payload(), indent=2, sort_keys=True))
+    else:
+        print(diff.render())
     return 0
+
+
+def _vet_main(args) -> int:
+    """``repro-cat vet``: counter validation and drift detection."""
+    import json
+
+    if args.vet_command == "run":
+        from repro.vet import CampaignConfig, parse_forge_spec, run_campaign
+
+        forge = None
+        if args.forge:
+            try:
+                forge = parse_forge_spec(args.forge)
+            except ValueError as exc:
+                raise _usage_exit(f"repro-cat vet run: --forge: {exc}")
+        overrides = {"seed": args.seed, "n_configs": args.configs}
+        if args.repetitions is not None:
+            overrides["repetitions"] = args.repetitions
+        if args.domains is not None:
+            overrides["domains"] = tuple(args.domains)
+        try:
+            config = CampaignConfig(**overrides)
+            report = run_campaign(args.system, config, forge=forge)
+        except (KeyError, ValueError) as exc:
+            raise _usage_exit(
+                f"repro-cat vet run: {exc.args[0] if exc.args else exc}"
+            )
+        if args.json:
+            print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+        if args.output:
+            path = report.save(args.output)
+            print(f"validation report written to {path}", file=sys.stderr)
+        return 0
+
+    if args.vet_command == "report":
+        from pathlib import Path
+
+        from repro.vet import ValidationReport
+
+        path = Path(args.path)
+        if not path.exists():
+            raise _usage_exit(f"repro-cat vet report: no such file: {path}")
+        try:
+            report = ValidationReport.load(path)
+        except (ValueError, KeyError) as exc:
+            raise _usage_exit(f"repro-cat vet report: {path}: {exc}")
+        if args.json:
+            print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+        return 0
+
+    if args.vet_command == "drift":
+        from repro.serve import MetricCatalogStore
+        from repro.vet import detect_drift
+
+        store = MetricCatalogStore(args.root)
+        report = detect_drift(store, arch=args.arch)
+        if args.json:
+            print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+        return 1 if report.flagged else 0
+
+    # vet_command == "smoke"
+    from repro.vet import run_vet_smoke
+
+    outcome = run_vet_smoke(seed=args.seed)
+    print(outcome.describe())
+    return 0 if outcome.passed else 1
 
 
 def _main(argv: Optional[List[str]] = None) -> int:
@@ -827,6 +1019,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "catalog":
         return _catalog_main(args)
+
+    if args.command == "vet":
+        return _vet_main(args)
 
     if args.command == "list-events":
         node = _node(args.system, args.seed)
@@ -1007,7 +1202,23 @@ def _main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     # command == "run"
-    pipeline = AnalysisPipeline.for_domain(args.domain, node, config=_config_for(args))
+    priors = None
+    if args.priors is not None:
+        from repro.vet import TrustPriors
+
+        try:
+            priors = TrustPriors.load(args.priors)
+        except (OSError, ValueError, KeyError) as exc:
+            raise _usage_exit(f"repro-cat run: --priors: {args.priors}: {exc}")
+        if priors.n_refuted:
+            print(
+                f"priors: {priors.n_refuted} refuted event(s) will be "
+                f"excluded ({priors.source})",
+                file=sys.stderr,
+            )
+    pipeline = AnalysisPipeline.for_domain(
+        args.domain, node, config=_config_for(args), priors=priors
+    )
     with _trace_scope(args) as tracer:
         try:
             result = pipeline.run()

@@ -32,6 +32,7 @@ from repro.papi.presets import PAPI_PRESET_NAMES, PresetMetric
 if TYPE_CHECKING:
     from repro.guard.certify import TrustScore
     from repro.guard.health import GuardConfig, NumericalHealth
+    from repro.vet.priors import VetStamp
 
 __all__ = ["MetricDefinition", "compose_metric", "round_coefficients"]
 
@@ -59,6 +60,10 @@ class MetricDefinition:
     # Leave-one-kernel-out certification stamp (certified/caution/reject
     # with reasons); None when certification was not run.
     trust: Optional["TrustScore"] = None
+    # Counter-validation evidence (repro.vet): the verdicts of the events
+    # this metric composes over and what the priors excluded; None when
+    # the pipeline ran without trust priors.
+    vet: Optional["VetStamp"] = None
 
     def __post_init__(self) -> None:
         coeffs = np.asarray(self.coefficients, dtype=np.float64)
@@ -118,6 +123,8 @@ class MetricDefinition:
         suffix = "  [DEGRADED]" if self.degraded else ""
         if self.trust is not None:
             suffix += f"  [trust: {self.trust.level}]"
+        if self.vet is not None and not self.vet.clean:
+            suffix += f"  [vet: {self.vet.describe()}]"
         header = f"{self.metric}  (error {self.error:.2e}){suffix}"
         return "\n".join([header] + lines)
 

@@ -16,7 +16,7 @@ from further analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -71,6 +71,9 @@ class NoiseReport:
     kept: List[str]
     noisy: List[str]  # above tau
     discarded_zero: List[str]  # all-zero measurements (footnote 1)
+    # Events removed from ``kept`` by validation trust priors
+    # (:mod:`repro.vet`) after the tau filter; empty on prior-free runs.
+    excluded_by_prior: List[str] = field(default_factory=list)
 
     def sorted_variabilities(self) -> List[Tuple[str, float]]:
         """(event, variability) sorted ascending — the Fig. 2 series."""

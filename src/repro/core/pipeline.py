@@ -60,6 +60,7 @@ if TYPE_CHECKING:
     )
     from repro.io.cache import MeasurementCache
     from repro.obs import Trace
+    from repro.vet.priors import TrustPriors
 
 __all__ = ["AnalysisPipeline", "PipelineConfig", "PipelineResult"]
 
@@ -182,6 +183,11 @@ class PipelineResult:
             f"events measured: {self.noise.n_measured}",
             f"  all-zero (discarded): {len(self.noise.discarded_zero)}",
             f"  noisy (> tau={self.config.tau:g}): {len(self.noise.noisy)}",
+            *(
+                [f"  excluded by vet prior: {len(self.noise.excluded_by_prior)}"]
+                if self.noise.excluded_by_prior
+                else []
+            ),
             f"  unrepresentable (> {self.config.representation_threshold:g}): "
             f"{len(self.representation.rejected)}",
             f"selected by QRCP (alpha={self.config.alpha:g}): "
@@ -222,6 +228,7 @@ class AnalysisPipeline:
         cache: Optional["MeasurementCache"] = None,
         faults: Optional[object] = None,
         scrub_policy: Optional["ScrubPolicy"] = None,
+        priors: Optional["TrustPriors"] = None,
     ):
         self.node = node
         self.benchmark = benchmark
@@ -229,6 +236,13 @@ class AnalysisPipeline:
         self.signatures = list(signatures)
         self.config = config
         self.events = events
+        # Counter-validation trust priors (repro.vet).  Applied strictly by
+        # exclusion after the tau filter, so a run with no priors — or with
+        # priors that refute nothing — is bit-identical to today's
+        # pipeline (property-tested).  Not part of PipelineConfig: the
+        # config digest keys the catalog, and priors must not re-key
+        # entries whose analysis output they leave untouched.
+        self.priors = priors
         # Used only when config.use_measurement_cache is set; None means
         # the process-wide default cache.
         self.cache = cache
@@ -263,6 +277,7 @@ class AnalysisPipeline:
         faults: Optional[object] = None,
         scrub_policy: Optional["ScrubPolicy"] = None,
         events: Optional[EventRegistry] = None,
+        priors: Optional["TrustPriors"] = None,
         **benchmark_kwargs,
     ) -> "AnalysisPipeline":
         """Standard wiring for the paper's four benchmark domains."""
@@ -303,6 +318,7 @@ class AnalysisPipeline:
             cache=cache,
             faults=faults,
             scrub_policy=scrub_policy,
+            priors=priors,
         )
 
     # ------------------------------------------------------------------
@@ -576,6 +592,24 @@ class AnalysisPipeline:
         tracer.incr("noise.noisy", len(noise.noisy))
         tracer.incr("noise.discarded_zero", len(noise.discarded_zero))
 
+        if self.priors is not None:
+            # Counter-validation priors: events the campaign refuted are
+            # barred from selection *before* QRCP can pivot on them.  A
+            # prior set that refutes nothing takes this branch without
+            # changing ``kept`` — the downstream stages see byte-identical
+            # inputs and produce byte-identical outputs.
+            excluded = list(self.priors.excluded_events(noise.kept))
+            if excluded:
+                with tracer.span("vet-exclude") as span:
+                    barred = set(excluded)
+                    noise = replace(
+                        noise,
+                        kept=[e for e in noise.kept if e not in barred],
+                        excluded_by_prior=excluded,
+                    )
+                    span.set(excluded=len(excluded))
+                tracer.incr("vet.excluded_by_prior", len(excluded))
+
         with tracer.span("representation") as span:
             surviving = measurement.select_events(noise.kept)
             matrix = surviving.measurement_matrix()
@@ -597,6 +631,7 @@ class AnalysisPipeline:
             rejected = (
                 set(noise.noisy)
                 | set(noise.discarded_zero)
+                | set(noise.excluded_by_prior)
                 | set(representation.rejected)
             )
             for record in robustness.records:
@@ -623,6 +658,19 @@ class AnalysisPipeline:
         if certify:
             kept_idx = {name: i for i, name in enumerate(noise.kept)}
             m_sel = matrix[:, [kept_idx[name] for name in selected_events]]
+
+        vet_stamp = None
+        if self.priors is not None:
+            from repro.vet.priors import VetStamp
+
+            vet_stamp = VetStamp(
+                verdicts={
+                    event: self.priors.verdict_for(event)
+                    for event in selected_events
+                },
+                excluded=tuple(noise.excluded_by_prior),
+                source=self.priors.source,
+            )
 
         metrics: Dict[str, MetricDefinition] = {}
         rounded: Dict[str, MetricDefinition] = {}
@@ -672,6 +720,8 @@ class AnalysisPipeline:
                         guards_fired=fired,
                     )
                     definition = replace(definition, trust=trust)
+                if vet_stamp is not None:
+                    definition = replace(definition, vet=vet_stamp)
                 metrics[signature.name] = definition
                 snapped = round_coefficients(
                     definition,
@@ -692,9 +742,9 @@ class AnalysisPipeline:
             if definition.trust is not None:
                 tracer.incr(f"certify.{definition.trust.level}")
 
-        if config.strict and config.guard.enabled:
+        if config.strict:
             problems: List[str] = []
-            if qrcp.health is not None and qrcp.health.guards_fired:
+            if config.guard.enabled and qrcp.health is not None and qrcp.health.guards_fired:
                 suspects = [
                     selected_events[i]
                     if i < len(selected_events)
@@ -723,6 +773,32 @@ class AnalysisPipeline:
                     f"{len(rejected)} metric definition(s) rejected by "
                     f"certification — {details}"
                 )
+            if self.priors is not None:
+                # With validation priors in hand, strict mode also refuses
+                # metrics that lean on events the campaign never vetted or
+                # outright refuted: a metric is only as trustworthy as the
+                # counters it is a linear combination of.
+                unvetted_deps = {
+                    name: sorted(
+                        f"{event}={self.priors.verdict_for(event)}"
+                        for event, coeff in zip(
+                            definition.event_names, definition.coefficients
+                        )
+                        if coeff != 0.0
+                        and self.priors.verdict_for(event) != "accurate"
+                    )
+                    for name, definition in metrics.items()
+                }
+                unvetted_deps = {k: v for k, v in unvetted_deps.items() if v}
+                if unvetted_deps:
+                    details = "; ".join(
+                        f"{name} depends on {', '.join(events)}"
+                        for name, events in sorted(unvetted_deps.items())
+                    )
+                    problems.append(
+                        f"{len(unvetted_deps)} metric definition(s) depend on "
+                        f"unvetted or refuted events — {details}"
+                    )
             if problems:
                 raise GuardViolation("strict mode: " + " | ".join(problems))
 

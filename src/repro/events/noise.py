@@ -81,6 +81,37 @@ class NoiseModel:
             and self.kind != "quantized"
         )
 
+    def expected_rel_bias(self, expected: float) -> float:
+        """Predicted relative bias of a reading at a given true count.
+
+        The noise components are not all zero-mean: the exponential floor
+        adds ``floor`` counts on average, and a spike adds
+        ``spike_scale * |count|`` with probability ``spike_rate``.  The
+        validation layer (:mod:`repro.vet`) centres its tolerance band on
+        ``1 + bias`` instead of 1 so a healthy noisy counter is not
+        mistaken for an overcounting one.
+        """
+        scale = max(abs(expected), 1.0)
+        return self.floor / scale + self.spike_rate * self.spike_scale
+
+    def predicted_rel_std(self, expected: float) -> float:
+        """Predicted relative standard deviation of a single reading.
+
+        Combines the Gaussian term, the exponential floor (std equals its
+        mean), the spike mixture (variance ``~2 p s^2`` for rate ``p`` and
+        relative scale ``s``) and half a quantum of rounding.  This is the
+        width the validation tolerance bands are derived from; it is a
+        model property, not a fit, so the bands exist before any
+        measurement is taken.
+        """
+        scale = max(abs(expected), 1.0)
+        variance = self.sigma**2 + (self.floor / scale) ** 2
+        if self.spike_rate > 0.0:
+            variance += 2.0 * self.spike_rate * self.spike_scale**2
+        if self.kind == "quantized" and self.quantum > 0.0:
+            variance += (self.quantum / (2.0 * scale)) ** 2
+        return float(np.sqrt(variance))
+
     def apply(self, value: float, rng: Optional[np.random.Generator]) -> float:
         """Perturb a true count into a measured reading.
 

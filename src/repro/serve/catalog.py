@@ -133,6 +133,13 @@ class CatalogEntry:
     #: before dependency tracking; those fall back to the coarse
     #: whole-registry ``events_digest`` check.
     event_digests: Dict[str, str] = field(default_factory=dict)
+    #: Counter-validation evidence (the ``repro.vet`` stamp payload:
+    #: per-composing-event verdicts, prior-excluded events, campaign
+    #: provenance).  None when the defining run carried no trust priors.
+    #: Part of the content digest when present — a verdict flip is an
+    #: analysis-relevant change and must version the entry, which is what
+    #: the drift detector watches for.
+    vet: Optional[dict] = None
     #: sha256 of the run's canonical trace JSONL (None for untraced runs).
     trace_digest: Optional[str] = None
     #: Assigned by the store on ``put`` (0 = not yet stored).
@@ -161,12 +168,17 @@ class CatalogEntry:
             # Entries without dependency tracking hash exactly as they
             # did before the field existed (stored catalogs keep dedup).
             payload.pop("event_digests", None)
+        if not payload.get("vet"):
+            # Same back-compat rule for the validation stamp: entries from
+            # prior-free runs hash exactly as they did before the field.
+            payload.pop("vet", None)
         return json_digest(payload, length=16)
 
     def definition(self) -> "MetricDefinition":
         """Reconstruct the definition, coefficient bytes and trust stamp
         bit-identical to the pipeline's output."""
         from repro.core.metrics import MetricDefinition
+        from repro.vet.priors import VetStamp
 
         return MetricDefinition(
             metric=self.metric,
@@ -176,6 +188,7 @@ class CatalogEntry:
             degraded=self.degraded,
             health=self.health,
             trust=self.trust,
+            vet=VetStamp.from_payload(self.vet),
         )
 
     # -- payload -------------------------------------------------------
@@ -223,6 +236,7 @@ class CatalogEntry:
             "trust": trust,
             "rounded_terms": dict(self.rounded_terms),
             "event_digests": dict(self.event_digests),
+            "vet": dict(self.vet) if self.vet else None,
             "trace_digest": self.trace_digest,
         }
 
@@ -276,6 +290,7 @@ class CatalogEntry:
             trust=trust,
             rounded_terms=dict(payload.get("rounded_terms", {})),
             event_digests=dict(payload.get("event_digests", {})),
+            vet=payload.get("vet"),
             trace_digest=payload.get("trace_digest"),
             version=payload["version"],
         )
@@ -324,6 +339,11 @@ def entries_from_result(
                 trust=definition.trust,
                 rounded_terms=rounded.terms() if rounded is not None else {},
                 event_digests=dict(event_digests or {}),
+                vet=(
+                    definition.vet.to_payload()
+                    if definition.vet is not None
+                    else None
+                ),
                 trace_digest=trace_digest,
             )
         )
@@ -347,6 +367,21 @@ class CatalogDiff:
     guards_a: Tuple[str, ...] = ()
     guards_b: Tuple[str, ...] = ()
     events_digest_changed: bool = False
+    #: Counter-validation verdicts per composing event on each side
+    #: (empty when that side's run carried no vet stamp).
+    vet_a: Dict[str, str] = field(default_factory=dict)
+    vet_b: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def verdict_flips(self) -> Dict[str, Tuple[Optional[str], Optional[str]]]:
+        """Events whose validation verdict changed between the versions
+        (``None`` on a side means that side had no verdict recorded)."""
+        flips: Dict[str, Tuple[Optional[str], Optional[str]]] = {}
+        for event in sorted(set(self.vet_a) | set(self.vet_b)):
+            old, new = self.vet_a.get(event), self.vet_b.get(event)
+            if old != new:
+                flips[event] = (old, new)
+        return flips
 
     @property
     def identical(self) -> bool:
@@ -358,6 +393,7 @@ class CatalogDiff:
             or self.trust_a != self.trust_b
             or self.guards_a != self.guards_b
             or self.events_digest_changed
+            or self.vet_a != self.vet_b
         )
 
     def render(self) -> str:
@@ -384,7 +420,40 @@ class CatalogDiff:
             )
         if self.events_digest_changed:
             lines.append("  event registry changed between versions")
+        for event, (old, new) in self.verdict_flips.items():
+            lines.append(
+                f"  vet: {event}: {old or 'no verdict'} -> {new or 'no verdict'}"
+            )
         return "\n".join(lines)
+
+    def to_payload(self) -> dict:
+        """Machine-readable mirror of :meth:`render` — the format the
+        drift detector (and ``catalog diff --json``) consumes."""
+        return {
+            "metric": self.metric,
+            "version_a": self.version_a,
+            "version_b": self.version_b,
+            "identical": self.identical,
+            "added_terms": dict(sorted(self.added_terms.items())),
+            "removed_terms": dict(sorted(self.removed_terms.items())),
+            "changed_terms": {
+                event: [old, new]
+                for event, (old, new) in sorted(self.changed_terms.items())
+            },
+            "error_a": self.error_a,
+            "error_b": self.error_b,
+            "trust_a": self.trust_a,
+            "trust_b": self.trust_b,
+            "guards_a": list(self.guards_a),
+            "guards_b": list(self.guards_b),
+            "events_digest_changed": self.events_digest_changed,
+            "vet_a": dict(sorted(self.vet_a.items())),
+            "vet_b": dict(sorted(self.vet_b.items())),
+            "verdict_flips": {
+                event: [old, new]
+                for event, (old, new) in self.verdict_flips.items()
+            },
+        }
 
 
 def diff_entries(a: CatalogEntry, b: CatalogEntry) -> CatalogDiff:
@@ -407,6 +476,8 @@ def diff_entries(a: CatalogEntry, b: CatalogEntry) -> CatalogDiff:
         guards_a=a.qrcp_guards + a.guards_fired,
         guards_b=b.qrcp_guards + b.guards_fired,
         events_digest_changed=a.events_digest != b.events_digest,
+        vet_a=dict((a.vet or {}).get("verdicts", {})),
+        vet_b=dict((b.vet or {}).get("verdicts", {})),
     )
     for event, coeff in terms_b.items():
         if event not in terms_a:

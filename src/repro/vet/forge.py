@@ -1,0 +1,140 @@
+"""Forged counters: events whose firings contradict their documentation.
+
+A validation layer is only trustworthy if it catches counters that lie,
+so the test substrate needs counters that lie *on purpose*.  A
+:class:`ForgedEvent` keeps the clean event's name, documented response and
+noise model — its registry metadata and content digests are bit-identical
+to the honest twin's (property-tested) — but its ``true_count`` silently
+deviates, exactly like real silicon whose event fires differently than
+the manual says.  Only measurement against expectation can tell them
+apart, which is the premise of :mod:`repro.vet`.
+
+Forge kinds mirror the Röhl taxonomy:
+
+* ``overcount`` / ``undercount`` — multiply the true count by ``factor``
+  (pick a non-integer factor like 1.5 for an overcount verdict; an
+  integer factor >= 2 is, correctly, classified as multi-counting).
+* ``multicount`` — multiply by an integer factor >= 2 (one firing per
+  SIMD lane instead of per instruction, etc.).
+* ``unreliable`` — a deterministic but kernel-dependent wobble: the
+  deviation changes with the workload, so no single correction factor
+  explains it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.activity import Activity
+from repro.events.model import RawEvent
+from repro.events.registry import EventRegistry
+
+__all__ = ["FORGE_KINDS", "ForgedEvent", "forge_registry", "parse_forge_spec"]
+
+FORGE_KINDS = ("overcount", "undercount", "multicount", "unreliable")
+
+
+@dataclass(frozen=True)
+class ForgedEvent(RawEvent):
+    """A counter whose firings deviate from its documented response.
+
+    The overridden ``true_count`` routes the event through the
+    measurement runner's scalar fallback path automatically (the packed
+    weight matrix only covers events with the stock linear response), so
+    forging needs no runner changes.
+    """
+
+    forge_kind: str = "overcount"
+    forge_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.forge_kind not in FORGE_KINDS:
+            raise ValueError(
+                f"unknown forge kind {self.forge_kind!r}; "
+                f"expected one of {FORGE_KINDS}"
+            )
+        if self.forge_factor <= 0:
+            raise ValueError("forge_factor must be positive")
+
+    def true_count(self, activity: Activity) -> float:
+        base = RawEvent.true_count(self, activity)
+        if self.forge_kind == "unreliable":
+            # Deterministic but workload-dependent: the wobble phase is a
+            # pseudo-random function of the count itself, so different
+            # kernel rows see different deviation ratios and no constant
+            # factor fits.
+            wobble = math.sin(0.37 * math.fmod(base, 997.0) + 1.0)
+            return base * (1.0 + self.forge_factor * wobble)
+        return self.forge_factor * base
+
+
+def forge_registry(
+    registry: EventRegistry,
+    spec: Mapping[str, Tuple[str, float]],
+) -> EventRegistry:
+    """A copy of ``registry`` with the events named in ``spec`` forged.
+
+    ``spec`` maps full event names to ``(kind, factor)``.  Unknown names
+    raise — a forged campaign that silently forged nothing would pass
+    vacuously.
+    """
+    missing = [name for name in spec if name not in registry]
+    if missing:
+        raise KeyError(
+            f"cannot forge events absent from registry "
+            f"{registry.name!r}: {', '.join(sorted(missing))}"
+        )
+    forged = EventRegistry(name=f"{registry.name}[forged:{len(spec)}]")
+    for event in registry:
+        plan = spec.get(event.full_name)
+        if plan is None:
+            forged.add(event)
+            continue
+        kind, factor = plan
+        forged.add(
+            ForgedEvent(
+                name=event.name,
+                qualifier=event.qualifier,
+                domain=event.domain,
+                response=event.response,
+                noise=event.noise,
+                description=event.description,
+                device=event.device,
+                forge_kind=kind,
+                forge_factor=float(factor),
+            )
+        )
+    return forged
+
+
+def parse_forge_spec(specs) -> Dict[str, Tuple[str, float]]:
+    """Parse CLI ``EVENT=KIND[:FACTOR]`` forge directives.
+
+    >>> parse_forge_spec(["PAPI_TOT_INS=overcount:1.5"])
+    {'PAPI_TOT_INS': ('overcount', 1.5)}
+    """
+    defaults = {
+        "overcount": 1.5,
+        "undercount": 0.5,
+        "multicount": 2.0,
+        "unreliable": 0.5,
+    }
+    parsed: Dict[str, Tuple[str, float]] = {}
+    for spec in specs:
+        event, sep, directive = spec.partition("=")
+        if not sep or not event or not directive:
+            raise ValueError(
+                f"malformed forge spec {spec!r}; expected EVENT=KIND[:FACTOR]"
+            )
+        kind, _, factor_text = directive.partition(":")
+        if kind not in FORGE_KINDS:
+            raise ValueError(
+                f"unknown forge kind {kind!r} in {spec!r}; "
+                f"expected one of {FORGE_KINDS}"
+            )
+        factor = float(factor_text) if factor_text else defaults[kind]
+        parsed[event] = (kind, factor)
+    return parsed

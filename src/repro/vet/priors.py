@@ -1,0 +1,166 @@
+"""Trust priors: validation verdicts as a pipeline input.
+
+A :class:`TrustPriors` carries per-event verdicts from a validation
+campaign into the analysis pipeline, where refuted events are excluded
+*after* the Section-IV noise filter and *before* QRCP selection — a lying
+counter must never become a pivot that defines a metric.
+
+Application is exclusion-only by design: events the campaign judged
+``accurate`` (and events it never saw) pass through untouched, so a run
+under all-accurate priors is bit-identical to a prior-free run
+(property-tested), and a prior-free run is byte-for-byte today's
+pipeline.
+
+A :class:`VetStamp` is the evidence trail the pipeline leaves on each
+:class:`~repro.core.metrics.MetricDefinition` (and, through the serve
+layer, each catalog entry): the verdicts of the events the metric was
+composed over, plus what the priors excluded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.vet.model import (
+    ACCURATE,
+    REFUTED_VERDICTS,
+    UNVETTED,
+    VERDICTS,
+    ValidationReport,
+)
+
+__all__ = ["TrustPriors", "VetStamp"]
+
+
+@dataclass(frozen=True)
+class TrustPriors:
+    """Per-event validation verdicts consumed by the analysis pipeline.
+
+    ``verdicts`` maps full event names to verdict strings; events absent
+    from the map are ``unvetted``.  ``exclude`` lists the verdicts that
+    bar an event from QRCP selection (default: every refuted verdict).
+    """
+
+    verdicts: Mapping[str, str] = field(default_factory=dict)
+    exclude: Tuple[str, ...] = REFUTED_VERDICTS
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "verdicts", dict(self.verdicts))
+        bad = sorted(set(self.verdicts.values()) - set(VERDICTS))
+        if bad:
+            raise ValueError(f"unknown verdict(s) in priors: {', '.join(bad)}")
+        bad = sorted(set(self.exclude) - set(VERDICTS))
+        if bad:
+            raise ValueError(
+                f"unknown verdict(s) in exclude list: {', '.join(bad)}"
+            )
+
+    def verdict_for(self, event: str) -> str:
+        return self.verdicts.get(event, UNVETTED)
+
+    def excluded(self, event: str) -> bool:
+        """Whether this event is barred from metric composition."""
+        return self.verdict_for(event) in self.exclude
+
+    def excluded_events(self, events: Iterable[str]) -> Tuple[str, ...]:
+        return tuple(e for e in events if self.excluded(e))
+
+    @property
+    def n_refuted(self) -> int:
+        return sum(1 for v in self.verdicts.values() if v in REFUTED_VERDICTS)
+
+    @classmethod
+    def from_report(
+        cls,
+        report: ValidationReport,
+        exclude: Tuple[str, ...] = REFUTED_VERDICTS,
+    ) -> "TrustPriors":
+        return cls(
+            verdicts={
+                name: verdict.verdict
+                for name, verdict in report.verdicts.items()
+            },
+            exclude=exclude,
+            source=report.source,
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TrustPriors":
+        """Load priors from a saved :class:`ValidationReport` JSON file."""
+        payload = json.loads(Path(path).read_text())
+        if payload.get("kind") == "validation-report":
+            return cls.from_report(ValidationReport.from_payload(payload))
+        return cls(
+            verdicts=dict(payload.get("verdicts", {})),
+            exclude=tuple(payload.get("exclude", REFUTED_VERDICTS)),
+            source=str(payload.get("source", str(path))),
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "verdicts": dict(sorted(self.verdicts.items())),
+            "exclude": list(self.exclude),
+            "source": self.source,
+        }
+
+
+@dataclass(frozen=True)
+class VetStamp:
+    """Validation evidence attached to a composed metric definition.
+
+    ``verdicts`` covers exactly the events the metric was composed over
+    (the QRCP selection); ``excluded`` lists events the priors barred
+    from that selection.
+    """
+
+    verdicts: Mapping[str, str] = field(default_factory=dict)
+    excluded: Tuple[str, ...] = ()
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "verdicts", dict(self.verdicts))
+        object.__setattr__(self, "excluded", tuple(self.excluded))
+
+    @property
+    def clean(self) -> bool:
+        """True when every composing event validated ``accurate``."""
+        return all(v == ACCURATE for v in self.verdicts.values())
+
+    def suspect_events(self) -> Dict[str, str]:
+        """Composing events that are not ``accurate`` (verdict by name)."""
+        return {e: v for e, v in self.verdicts.items() if v != ACCURATE}
+
+    def describe(self) -> str:
+        if self.clean and not self.excluded:
+            return f"vetted clean ({len(self.verdicts)} events)"
+        parts = []
+        suspects = self.suspect_events()
+        if suspects:
+            parts.append(
+                "suspect: "
+                + ", ".join(f"{e}={v}" for e, v in sorted(suspects.items()))
+            )
+        if self.excluded:
+            parts.append(f"excluded: {', '.join(self.excluded)}")
+        return "; ".join(parts)
+
+    def to_payload(self) -> dict:
+        return {
+            "verdicts": dict(sorted(self.verdicts.items())),
+            "excluded": list(self.excluded),
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Optional[Mapping]) -> Optional["VetStamp"]:
+        if not payload:
+            return None
+        return cls(
+            verdicts=dict(payload.get("verdicts", {})),
+            excluded=tuple(payload.get("excluded", ())),
+            source=str(payload.get("source", "")),
+        )

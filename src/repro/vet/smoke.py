@@ -1,0 +1,229 @@
+"""End-to-end smoke test of the counter-validation layer.
+
+One seeded scenario exercising the whole vet loop on SPR, mirroring
+:mod:`repro.guard.smoke`:
+
+1. a clean ``cpu_flops`` analysis picks the target: a deterministic
+   event the QRCP selection actually depends on;
+2. a healthy validation campaign must refute nothing;
+3. the same campaign with the target forged to overcount by 1.5x must
+   hand down an ``overcounting`` (refuted) verdict — while the forged
+   registry's content digests stay bit-identical to the clean one
+   (metadata cannot reveal the forgery; only measurement can);
+4. a pipeline run under the forged priors must exclude the target from
+   QRCP selection and stamp the definitions with the evidence;
+5. a run under the *healthy* campaign's priors must be bit-identical to
+   a prior-free run — coefficients byte for byte;
+6. publishing the clean and the forged-prior analyses to a catalog must
+   produce a version transition that ``vet drift`` flags.
+
+Exit semantics mirror the guard smoke: ``passed`` is True only when
+every assertion held, and ``describe()`` ends with a PASS/FAIL verdict
+line the CI job greps.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.pipeline import AnalysisPipeline
+from repro.hardware.systems import aurora_node
+from repro.serve.catalog import MetricCatalogStore, entries_from_result
+from repro.vet.campaign import CampaignConfig, run_campaign
+from repro.vet.drift import detect_drift
+from repro.vet.forge import forge_registry
+from repro.vet.model import OVERCOUNTING
+from repro.vet.priors import TrustPriors
+
+__all__ = ["VetSmokeOutcome", "run_vet_smoke"]
+
+#: The forged deviation: deliberately non-integer so the verdict is
+#: ``overcounting`` (an integer ratio would — correctly — classify as
+#: multi-counting instead).
+FORGE_FACTOR = 1.5
+SMOKE_DOMAIN = "cpu_flops"
+
+
+@dataclass
+class VetSmokeOutcome:
+    """Everything the smoke scenario observed, plus the verdict."""
+
+    seed: int
+    target_event: str = ""
+    forged_verdict: Optional[str] = None
+    healthy_refuted: Tuple[str, ...] = ()
+    excluded_by_prior: Tuple[str, ...] = ()
+    drift_anomaly_kinds: Tuple[str, ...] = ()
+    bit_identical: bool = False
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = [
+            f"vet smoke (seed {self.seed}, domain {SMOKE_DOMAIN})",
+            f"  target event: {self.target_event or '<none selected>'}",
+            f"  healthy campaign refuted: "
+            f"{', '.join(self.healthy_refuted) or 'none'}",
+            f"  forged verdict: {self.forged_verdict or '<missing>'}",
+            f"  excluded by priors: "
+            f"{', '.join(self.excluded_by_prior) or 'none'}",
+            f"  healthy-prior run bit-identical: {self.bit_identical}",
+            f"  drift anomalies: "
+            f"{', '.join(self.drift_anomaly_kinds) or 'none'}",
+        ]
+        for failure in self.failures:
+            lines.append(f"  FAIL: {failure}")
+        lines.append(f"verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def run_vet_smoke(
+    seed: int = 2024, root: Optional[Union[str, Path]] = None
+) -> VetSmokeOutcome:
+    """Run the seeded forged-overcounter scenario on SPR.
+
+    ``root`` hosts the scratch catalog for the drift leg (a temp
+    directory by default).
+    """
+    outcome = VetSmokeOutcome(seed=seed)
+    campaign = CampaignConfig(
+        seed=seed, n_configs=2, repetitions=3, domains=(SMOKE_DOMAIN,)
+    )
+
+    # Leg 1: clean analysis; the target must be a deterministic event the
+    # selection depends on, so its exclusion visibly changes composition.
+    node = aurora_node(seed=seed)
+    clean = AnalysisPipeline.for_domain(SMOKE_DOMAIN, node).run()
+    target = next(
+        (
+            event
+            for event in clean.selected_events
+            if node.events.get(event).noise.is_deterministic
+        ),
+        "",
+    )
+    outcome.target_event = target
+    if not target:
+        outcome.failures.append(
+            "no deterministic event among the QRCP-selected set"
+        )
+        return outcome
+
+    # Leg 2: a healthy campaign must refute nothing.
+    healthy = run_campaign("aurora", campaign)
+    outcome.healthy_refuted = tuple(healthy.refuted_events())
+    if outcome.healthy_refuted:
+        outcome.failures.append(
+            f"healthy campaign refuted {len(outcome.healthy_refuted)} "
+            f"event(s): {', '.join(outcome.healthy_refuted)}"
+        )
+
+    # Leg 3: forge the target and re-campaign; metadata must not give the
+    # forgery away, measurement must.
+    forge_spec = {target: ("overcount", FORGE_FACTOR)}
+    forged_registry = forge_registry(node.events, forge_spec)
+    if (
+        forged_registry.content_digest() != node.events.content_digest()
+        or forged_registry.event_digests()[target]
+        != node.events.event_digests()[target]
+    ):
+        outcome.failures.append(
+            "forged registry digests differ from clean — the forgery "
+            "should be metadata-invisible"
+        )
+    forged_report = run_campaign("aurora", campaign, forge=forge_spec)
+    verdict = forged_report.verdicts.get(target)
+    outcome.forged_verdict = verdict.verdict if verdict is not None else None
+    if verdict is None or verdict.verdict != OVERCOUNTING:
+        outcome.failures.append(
+            f"forged x{FORGE_FACTOR} event judged "
+            f"{outcome.forged_verdict or 'unvetted'}, expected {OVERCOUNTING}"
+        )
+    elif not verdict.refuted:
+        outcome.failures.append("overcounting verdict not marked refuted")
+
+    # Leg 4: the forged priors must bar the target from composition.
+    priors = TrustPriors.from_report(forged_report)
+    forged_node = aurora_node(seed=seed)
+    forged_node.events = forged_registry
+    vetted = AnalysisPipeline.for_domain(
+        SMOKE_DOMAIN, forged_node, priors=priors
+    ).run()
+    outcome.excluded_by_prior = tuple(vetted.noise.excluded_by_prior)
+    if target in vetted.selected_events:
+        outcome.failures.append(
+            f"{target} still in the QRCP selection under refuting priors"
+        )
+    if target not in outcome.excluded_by_prior:
+        outcome.failures.append(
+            f"{target} not recorded as excluded-by-prior"
+        )
+    if any(m.vet is None for m in vetted.metrics.values()):
+        outcome.failures.append("vet stamp missing from composed metrics")
+
+    # Leg 5: healthy priors must change nothing, byte for byte.
+    healthy_priors = TrustPriors.from_report(healthy)
+    prior_free = AnalysisPipeline.for_domain(
+        SMOKE_DOMAIN, aurora_node(seed=seed)
+    ).run()
+    under_priors = AnalysisPipeline.for_domain(
+        SMOKE_DOMAIN, aurora_node(seed=seed), priors=healthy_priors
+    ).run()
+    outcome.bit_identical = (
+        prior_free.selected_events == under_priors.selected_events
+        and list(prior_free.metrics) == list(under_priors.metrics)
+        and all(
+            prior_free.metrics[name].coefficients.tobytes()
+            == under_priors.metrics[name].coefficients.tobytes()
+            and prior_free.metrics[name].error
+            == under_priors.metrics[name].error
+            for name in prior_free.metrics
+        )
+        and np.array_equal(
+            prior_free.qrcp.selected, under_priors.qrcp.selected
+        )
+    )
+    if not outcome.bit_identical:
+        outcome.failures.append(
+            "run under all-accurate priors is not bit-identical to the "
+            "prior-free run"
+        )
+
+    # Leg 6: the clean -> vetted catalog transition must be flagged.
+    catalog_root = (
+        Path(root) if root is not None else Path(tempfile.mkdtemp(prefix="vet-smoke-"))
+    )
+    store = MetricCatalogStore(catalog_root / "catalog", durable=False)
+    events_digest = node.events.content_digest()
+    for entry in entries_from_result(
+        clean, arch=node.name, seed=seed, events_digest=events_digest
+    ):
+        store.put(entry)
+    for entry in entries_from_result(
+        vetted, arch=node.name, seed=seed, events_digest=events_digest
+    ):
+        store.put(entry)
+    drift = detect_drift(store, arch=node.name)
+    outcome.drift_anomaly_kinds = tuple(sorted(drift.by_kind()))
+    if not drift.flagged:
+        outcome.failures.append(
+            "vet drift found no anomalies across the clean -> vetted "
+            "catalog transition"
+        )
+    composition_kinds = {"term-change", "coefficient-drift"}
+    if drift.flagged and not composition_kinds & set(
+        outcome.drift_anomaly_kinds
+    ):
+        outcome.failures.append(
+            "drift anomalies lack a composition change "
+            f"({', '.join(outcome.drift_anomaly_kinds)})"
+        )
+    return outcome

@@ -1,0 +1,131 @@
+"""Fault injection on the dTLB domain: faults are scrubbed or flagged,
+never silently composed.
+
+The dTLB extension domain got pipeline coverage but never fault
+coverage; these tests close that gap with the same two properties the
+branch-domain fault suite asserts — zero-fault identity and full fault
+accountability — plus a composition check specific to the concern:
+a dropout/spike load on dTLB events must leave every injected fault
+with a terminal outcome (recovered, excluded, or degraded) before any
+metric is composed over the affected columns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import AnalysisPipeline
+from repro.faults import FaultConfig
+from repro.hardware.systems import aurora_node
+
+DROPOUT_AND_SPIKES = FaultConfig(
+    seed=13,
+    dropout_rate=0.03,
+    spike_rate=0.02,
+    spike_scale=50.0,
+)
+
+#: Outcomes that account for a fault; "injected" means nothing handled it.
+ACCOUNTED = {"recovered", "excluded", "degraded"}
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return AnalysisPipeline.for_domain("dtlb", aurora_node()).run()
+
+
+@pytest.fixture(scope="module")
+def faulted():
+    return AnalysisPipeline.for_domain(
+        "dtlb", aurora_node(), faults=DROPOUT_AND_SPIKES
+    ).run()
+
+
+class TestZeroFaultIdentity:
+    def test_zero_rate_config_is_bit_identical(self, baseline):
+        result = AnalysisPipeline.for_domain(
+            "dtlb", aurora_node(), faults=FaultConfig(seed=5)
+        ).run()
+        np.testing.assert_array_equal(
+            result.measurement.data, baseline.measurement.data
+        )
+        assert result.selected_events == baseline.selected_events
+        assert {n: m.error for n, m in result.metrics.items()} == {
+            n: m.error for n, m in baseline.metrics.items()
+        }
+        assert result.robustness is None
+
+
+class TestAccountability:
+    def test_faults_actually_fired(self, faulted):
+        report = faulted.robustness
+        assert report is not None
+        assert report.n_injected > 0
+        kinds = {r.kind for r in report.records}
+        assert "dropout" in kinds
+        assert "spike" in kinds
+
+    def test_no_fault_silently_composed(self, faulted):
+        report = faulted.robustness
+        assert report.unaccounted() == []
+        for record in report.records:
+            assert record.outcome in ACCOUNTED, (
+                f"{record.kind} on {record.event} at {record.coords} "
+                f"left outcome {record.outcome!r}"
+            )
+
+    def test_dropped_dtlb_columns_never_compose(self, faulted):
+        # "excluded" is per-cell (the corrupted repetition leaves the
+        # median); "degraded" means the scrubber dropped the whole event
+        # column — those columns must never reach QRCP selection.
+        dropped = {
+            r.event
+            for r in faulted.robustness.records
+            if r.outcome == "degraded" and r.event
+        }
+        assert not dropped & set(faulted.selected_events)
+
+    def test_moderate_load_preserves_selection(self, faulted, baseline):
+        # Scrubbing (impute dropouts, exclude spiked repetitions) exists
+        # so sparse corruption does not change the composition basis.
+        assert faulted.selected_events == baseline.selected_events
+
+    def test_degradation_is_flagged_never_silent(self, faulted):
+        # This load drops at least one unrecoverable column; the pipeline
+        # must advertise that, and the audit trail must justify the flag.
+        if faulted.degraded:
+            assert any(
+                r.outcome == "degraded" for r in faulted.robustness.records
+            )
+            assert "DEGRADED" in faulted.summary()
+
+    def test_audit_table_names_the_dtlb_context(self, faulted):
+        table = faulted.robustness.table()
+        assert "fault kind" in table
+        assert faulted.robustness.unaccounted() == []
+
+
+class TestDeterminism:
+    def test_faulted_run_deterministic_under_seed(self, faulted):
+        again = AnalysisPipeline.for_domain(
+            "dtlb", aurora_node(), faults=DROPOUT_AND_SPIKES
+        ).run()
+        np.testing.assert_array_equal(
+            faulted.measurement.data, again.measurement.data
+        )
+        assert faulted.selected_events == again.selected_events
+        key = lambda r: (r.kind, r.event, r.coords, r.outcome)
+        assert sorted(map(key, faulted.robustness.records)) == sorted(
+            map(key, again.robustness.records)
+        )
+
+
+class TestBrutalDropout:
+    def test_heavy_dtlb_dropout_degrades_not_lies(self):
+        brutal = FaultConfig(seed=9, dropout_rate=0.6)
+        result = AnalysisPipeline.for_domain(
+            "dtlb", aurora_node(), faults=brutal
+        ).run()
+        assert result.degraded
+        assert result.robustness.unaccounted() == []
+        for metric in result.metrics.values():
+            assert metric.degraded

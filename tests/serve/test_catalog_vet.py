@@ -1,0 +1,114 @@
+"""Vet evidence on catalog entries: digest semantics, round trips, and
+verdict-flip diffs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.pipeline import AnalysisPipeline
+from repro.hardware import aurora_node
+from repro.io.cache import event_set_digest
+from repro.serve.catalog import CatalogEntry, diff_entries, entries_from_result
+from repro.vet import TrustPriors, VetStamp
+
+
+@pytest.fixture(scope="module")
+def node():
+    return aurora_node(seed=7)
+
+
+@pytest.fixture(scope="module")
+def clean_entries(node):
+    result = AnalysisPipeline.for_domain("branch", node).run()
+    return entries_from_result(
+        result, arch=node.name, seed=7, events_digest=event_set_digest(node.events)
+    )
+
+
+@pytest.fixture(scope="module")
+def vetted_entries(node):
+    priors = TrustPriors(
+        verdicts={"BR_INST_RETIRED:ALL_BRANCHES": "accurate"},
+        source="vet-campaign[test]",
+    )
+    result = AnalysisPipeline.for_domain(
+        "branch", aurora_node(seed=7), priors=priors
+    ).run()
+    return entries_from_result(
+        result, arch=node.name, seed=7, events_digest=event_set_digest(node.events)
+    )
+
+
+class TestVetPayload:
+    def test_prior_free_entries_have_no_vet(self, clean_entries):
+        assert all(entry.vet is None for entry in clean_entries)
+
+    def test_vetted_entries_carry_the_stamp(self, vetted_entries):
+        for entry in vetted_entries:
+            assert entry.vet is not None
+            assert set(entry.vet) == {"verdicts", "excluded", "source"}
+            assert entry.vet["source"] == "vet-campaign[test]"
+
+    def test_payload_round_trip(self, vetted_entries):
+        entry = vetted_entries[0]
+        again = CatalogEntry.from_payload(entry.to_payload())
+        assert again.vet == entry.vet
+        assert again.content_digest() == entry.content_digest()
+
+    def test_definition_rehydrates_the_stamp(self, vetted_entries):
+        definition = vetted_entries[0].definition()
+        assert isinstance(definition.vet, VetStamp)
+        assert definition.vet.source == "vet-campaign[test]"
+
+    def test_clean_definition_has_no_stamp(self, clean_entries):
+        assert clean_entries[0].definition().vet is None
+
+
+class TestDigestSemantics:
+    def test_absent_and_empty_vet_share_digests(self, clean_entries):
+        # Old stored entries have no vet field; their digests (and hence
+        # dedup) must be unaffected by the field's existence.
+        entry = clean_entries[0]
+        assert (
+            replace(entry, vet=None).content_digest()
+            == replace(entry, vet={}).content_digest()
+        )
+
+    def test_vet_payload_changes_the_digest(self, clean_entries):
+        entry = clean_entries[0]
+        stamped = replace(
+            entry,
+            vet={"verdicts": {"E": "accurate"}, "excluded": [], "source": "s"},
+        )
+        assert stamped.content_digest() != entry.content_digest()
+
+
+class TestVerdictFlipDiff:
+    def test_vet_only_change_is_not_identical(self, clean_entries, vetted_entries):
+        clean = next(
+            c
+            for c in clean_entries
+            if any(
+                v.metric == c.metric
+                and v.event_names == c.event_names
+                and v.coefficients_hex == c.coefficients_hex
+                for v in vetted_entries
+            )
+        )
+        vetted = next(v for v in vetted_entries if v.metric == clean.metric)
+        diff = diff_entries(clean, replace(vetted, version=2))
+        assert not diff.identical
+        assert diff.verdict_flips
+
+    def test_flip_in_render_and_payload(self, clean_entries, vetted_entries):
+        clean = clean_entries[0]
+        vetted = next(
+            v for v in vetted_entries if v.metric == clean.metric
+        )
+        diff = diff_entries(clean, replace(vetted, version=2))
+        payload = diff.to_payload()
+        assert payload["verdict_flips"]
+        for event, (old, new) in payload["verdict_flips"].items():
+            assert old is None
+            assert new in ("accurate", "unvetted")
+        assert "vet:" in diff.render()

@@ -392,3 +392,162 @@ class TestNoise:
         out = capsys.readouterr().out
         assert "tau = 1e-10" in out
         assert "Sorted event variabilities" in out
+
+
+class TestVet:
+    @pytest.fixture(scope="class")
+    def report_path(self, tmp_path_factory):
+        from repro.vet import EventVerdict, ValidationReport
+
+        report = ValidationReport(
+            arch="aurora-spr",
+            system="aurora",
+            seed=7,
+            n_configs=2,
+            domains=("cpu_flops",),
+            probes=("cpu_flops",),
+            verdicts={
+                "GOOD": EventVerdict(event="GOOD", verdict="accurate"),
+                "BAD": EventVerdict(
+                    event="BAD", verdict="overcounting", ratio_median=1.5
+                ),
+            },
+        )
+        return str(report.save(tmp_path_factory.mktemp("vet") / "report.json"))
+
+    def test_report_renders_summary(self, capsys, report_path):
+        assert exit_code(["vet", "report", report_path]) == 0
+        out = capsys.readouterr().out
+        assert "refuted events:" in out
+        assert "BAD" in out
+
+    def test_report_json_round_trips(self, capsys, report_path):
+        assert exit_code(["vet", "report", report_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "validation-report"
+        assert payload["verdicts"]["BAD"]["verdict"] == "overcounting"
+
+    def test_report_missing_file_is_two(self, capsys):
+        assert exit_code(["vet", "report", "/nonexistent/report.json"]) == 2
+
+    def test_run_bad_forge_spec_is_two(self, capsys):
+        assert (
+            exit_code(
+                ["vet", "run", "--system", "aurora", "--forge", "E=teleport"]
+            )
+            == 2
+        )
+
+    def test_run_unmeasurable_domain_is_two(self, capsys):
+        assert (
+            exit_code(
+                ["vet", "run", "--system", "aurora", "--domains", "gpu_flops"]
+            )
+            == 2
+        )
+
+    def test_run_zero_configs_is_two(self, capsys):
+        assert (
+            exit_code(["vet", "run", "--system", "aurora", "--configs", "0"])
+            == 2
+        )
+
+    def test_drift_on_empty_catalog_is_clean(self, capsys, tmp_path):
+        assert (
+            exit_code(["vet", "drift", "--root", str(tmp_path / "empty")]) == 0
+        )
+        assert "0 key(s)" in capsys.readouterr().out
+
+    def test_run_with_priors_reports_exclusions(self, capsys, tmp_path):
+        # Refute one event the branch pipeline would otherwise keep; the
+        # run must print the exclusion and still produce metrics.
+        from repro.vet import EventVerdict, ValidationReport
+
+        report = ValidationReport(
+            arch="aurora-spr",
+            system="aurora",
+            seed=2024,
+            n_configs=1,
+            domains=("branch",),
+            probes=("branch",),
+            verdicts={
+                "BR_INST_RETIRED:COND_NTAKEN": EventVerdict(
+                    event="BR_INST_RETIRED:COND_NTAKEN",
+                    verdict="overcounting",
+                    ratio_median=1.5,
+                )
+            },
+        )
+        path = report.save(tmp_path / "priors.json")
+        assert (
+            exit_code(
+                ["run", "--domain", "branch", "--repetitions", "2",
+                 "--priors", str(path)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "excluded by vet prior: 1" in captured.out
+        assert "1 refuted event(s)" in captured.err
+
+    def test_run_with_bad_priors_file_is_two(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"verdicts": {"E": "bogus"}}')
+        assert (
+            exit_code(["run", "--domain", "branch", "--priors", str(bad)]) == 2
+        )
+
+
+class TestCatalogVetFlags:
+    @pytest.fixture(scope="class")
+    def vetcat_root(self, tmp_path_factory):
+        from repro.core.pipeline import AnalysisPipeline
+        from repro.hardware.systems import aurora_node
+        from repro.serve.catalog import MetricCatalogStore, entries_from_result
+        from repro.vet import TrustPriors
+
+        node = aurora_node(seed=7)
+        clean = AnalysisPipeline.for_domain("branch", node).run()
+        vetted = AnalysisPipeline.for_domain(
+            "branch",
+            aurora_node(seed=7),
+            priors=TrustPriors(
+                verdicts={"BR_INST_RETIRED:ALL_BRANCHES": "accurate"},
+                source="vet-campaign[test]",
+            ),
+        ).run()
+        root = tmp_path_factory.mktemp("vetcat") / "catalog"
+        store = MetricCatalogStore(root, durable=False)
+        digest = node.events.content_digest()
+        for result in (clean, vetted):
+            for entry in entries_from_result(
+                result, arch=node.name, seed=7, events_digest=digest
+            ):
+                store.put(entry)
+        return str(root)
+
+    def test_diff_json_is_machine_readable(self, capsys, vetcat_root):
+        assert (
+            exit_code(
+                ["catalog", "diff", "--root", vetcat_root, "--arch",
+                 "aurora-spr", "Mispredicted Branches.", "1", "2", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metric"] == "Mispredicted Branches."
+        assert payload["identical"] is False
+        assert payload["verdict_flips"]
+
+    def test_drift_flags_the_transition(self, capsys, vetcat_root):
+        assert exit_code(["vet", "drift", "--root", vetcat_root]) == 1
+        assert "verdict-flip" in capsys.readouterr().out
+
+    def test_stale_only_empty_when_registry_matches(self, capsys, vetcat_root):
+        assert (
+            exit_code(
+                ["catalog", "list", "--root", vetcat_root, "--stale-only"]
+            )
+            == 0
+        )
+        assert "no stale entries" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""Forged counters: metadata-invisible, measurement-visible."""
+
+import pytest
+
+from repro.activity import Activity
+from repro.hardware.systems import aurora_node
+from repro.vet import ForgedEvent, forge_registry, parse_forge_spec
+from tests.vet.conftest import FORGE_TARGET
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return aurora_node(seed=0).events
+
+
+class TestDigestIdentity:
+    def test_forged_registry_digests_match_clean(self, registry):
+        forged = forge_registry(registry, {FORGE_TARGET: ("overcount", 1.5)})
+        # The forgery must be invisible to every digest the catalog and
+        # cache layers key on: only measurement can expose it.
+        assert forged.content_digest() == registry.content_digest()
+        assert forged.event_digests() == registry.event_digests()
+
+    def test_forged_count_deviates_from_documentation(self, registry):
+        clean = registry.get(FORGE_TARGET)
+        forged = forge_registry(registry, {FORGE_TARGET: ("overcount", 1.5)})
+        activity = Activity({key: 100.0 for key in clean.response})
+        assert forged.get(FORGE_TARGET).true_count(activity) == pytest.approx(
+            1.5 * clean.true_count(activity)
+        )
+
+    def test_unforged_events_untouched(self, registry):
+        forged = forge_registry(registry, {FORGE_TARGET: ("overcount", 1.5)})
+        others = [e for e in forged if e.full_name != FORGE_TARGET]
+        assert not any(isinstance(e, ForgedEvent) for e in others)
+
+
+class TestForgeRegistry:
+    def test_unknown_event_raises(self, registry):
+        with pytest.raises(KeyError, match="NO_SUCH_EVENT"):
+            forge_registry(registry, {"NO_SUCH_EVENT": ("overcount", 1.5)})
+
+    def test_unknown_kind_rejected(self, registry):
+        with pytest.raises(ValueError, match="forge kind"):
+            forge_registry(registry, {FORGE_TARGET: ("teleport", 1.5)})
+
+    def test_nonpositive_factor_rejected(self, registry):
+        with pytest.raises(ValueError, match="positive"):
+            forge_registry(registry, {FORGE_TARGET: ("overcount", 0.0)})
+
+
+class TestUnreliableWobble:
+    def test_wobble_varies_with_workload(self, registry):
+        clean = registry.get(FORGE_TARGET)
+        forged = forge_registry(
+            registry, {FORGE_TARGET: ("unreliable", 0.5)}
+        ).get(FORGE_TARGET)
+        ratios = set()
+        for scale in (10.0, 100.0, 1000.0, 12345.0):
+            activity = Activity({key: scale for key in clean.response})
+            base = clean.true_count(activity)
+            ratios.add(round(forged.true_count(activity) / base, 6))
+        # No single correction factor explains an unreliable counter.
+        assert len(ratios) > 1
+
+
+class TestParseForgeSpec:
+    def test_explicit_factor(self):
+        assert parse_forge_spec(["E=overcount:1.5"]) == {
+            "E": ("overcount", 1.5)
+        }
+
+    def test_kind_defaults(self):
+        parsed = parse_forge_spec(
+            ["A=overcount", "B=undercount", "C=multicount", "D=unreliable"]
+        )
+        assert parsed["A"] == ("overcount", 1.5)
+        assert parsed["B"] == ("undercount", 0.5)
+        assert parsed["C"] == ("multicount", 2.0)
+        assert parsed["D"] == ("unreliable", 0.5)
+
+    def test_malformed_spec_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_forge_spec(["no-equals-sign"])
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown forge kind"):
+            parse_forge_spec(["E=teleport:2"])

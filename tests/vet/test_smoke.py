@@ -1,0 +1,25 @@
+"""The seeded end-to-end smoke scenario CI runs.
+
+This is the acceptance criterion in executable form: a forged
+overcounting event on SPR is refuted and excluded from composition while
+the healthy path stays bit-identical, and the catalog transition is
+flagged by drift detection.
+"""
+
+from repro.vet import run_vet_smoke
+from tests.vet.conftest import FORGE_TARGET
+
+
+def test_vet_smoke_passes(tmp_path):
+    outcome = run_vet_smoke(seed=2024, root=tmp_path)
+    assert outcome.passed, outcome.describe()
+    # The scenario's pieces, individually visible:
+    assert outcome.target_event == FORGE_TARGET
+    assert outcome.healthy_refuted == ()
+    assert outcome.forged_verdict == "overcounting"
+    assert outcome.excluded_by_prior == (FORGE_TARGET,)
+    assert outcome.bit_identical
+    assert {"term-change", "coefficient-drift"} & set(
+        outcome.drift_anomaly_kinds
+    )
+    assert outcome.describe().endswith("verdict: PASS")
