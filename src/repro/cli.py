@@ -332,6 +332,77 @@ def _build_parser() -> argparse.ArgumentParser:
         "worker is down) serve the newest catalog entry no older than "
         "this, stamped stale=true, instead of rejecting (default: off)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="partition the catalog root across N consistent-hash shard "
+        "directories (requires --catalog; a root that already carries "
+        "shards.json opens with its recorded topology); 0 = unsharded "
+        "(default)",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="closed-loop load drill: drive a serving tier with a "
+        "deterministic workload and check the invariant (every response "
+        "bit-identical to the single-process answer, a typed 429/503, "
+        "or explicitly stale)",
+    )
+    loadtest.add_argument(
+        "--catalog",
+        default=None,
+        metavar="DIR",
+        help="catalog root the drill publishes into (disposable; "
+        "required for --target sharded)",
+    )
+    loadtest.add_argument("--cache-dir", default=None, metavar="DIR")
+    loadtest.add_argument(
+        "--target",
+        default="sharded",
+        choices=("sharded", "single"),
+        help="sharded = supervised multi-process pool over shard "
+        "directories; single = one in-process HTTP service (the "
+        "baseline tier)",
+    )
+    loadtest.add_argument("--workers", type=int, default=2)
+    loadtest.add_argument("--shards", type=int, default=2)
+    loadtest.add_argument(
+        "--system", default="aurora", choices=sorted(SWEEP_SYSTEMS)
+    )
+    loadtest.add_argument("--domain", default="branch")
+    loadtest.add_argument("--clients", type=int, default=4)
+    loadtest.add_argument(
+        "--requests", type=int, default=6, help="requests per client"
+    )
+    loadtest.add_argument("--seed", type=int, default=2024)
+    loadtest.add_argument(
+        "--seed-pool",
+        type=int,
+        default=2,
+        help="distinct analysis seeds the workload draws from",
+    )
+    loadtest.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.6,
+        help="fraction of each stream that re-reads hot catalog keys",
+    )
+    loadtest.add_argument(
+        "--rps",
+        type=float,
+        nargs="*",
+        default=[],
+        metavar="RPS",
+        help="open-loop saturation steps at these offered rates, run "
+        "after the closed-loop step (default: closed loop only)",
+    )
+    loadtest.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable per-step rows instead of the summary",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -598,8 +669,23 @@ def _validate_args(args) -> None:
             v.require_int(args.port, "--port", context, minimum=0)
         if getattr(args, "configs", None) is not None:
             v.require_int(args.configs, "--configs", context, minimum=1)
+        if getattr(args, "shards", None) is not None:
+            v.require_int(args.shards, "--shards", context, minimum=0)
     except ValidationError as exc:
         raise _usage_exit(str(exc))
+    if args.command == "serve" and args.shards > 0 and args.catalog is None:
+        raise _usage_exit(
+            "repro-cat serve: --shards needs --catalog (a sharded topology "
+            "is a property of the catalog root)"
+        )
+    if (
+        args.command == "loadtest"
+        and args.target == "sharded"
+        and args.catalog is None
+    ):
+        raise _usage_exit(
+            "repro-cat loadtest: --target sharded needs --catalog"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -703,9 +789,9 @@ def _catalog_refresh(store, args) -> int:
 
 
 def _catalog_main(args) -> int:
-    from repro.serve import MetricCatalogStore
+    from repro.serve import open_catalog
 
-    store = MetricCatalogStore(args.root)
+    store = open_catalog(args.root)
 
     if args.catalog_command == "list":
         if args.stale_only:
@@ -859,10 +945,10 @@ def _vet_main(args) -> int:
         return 0
 
     if args.vet_command == "drift":
-        from repro.serve import MetricCatalogStore
+        from repro.serve import open_catalog
         from repro.vet import detect_drift
 
-        store = MetricCatalogStore(args.root)
+        store = open_catalog(args.root)
         report = detect_drift(store, arch=args.arch)
         if args.json:
             print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
@@ -915,6 +1001,12 @@ def _main(argv: Optional[List[str]] = None) -> int:
         import asyncio
 
         def announce(port: int) -> None:
+            if args.port == 0:
+                # Ephemeral bind: the chosen port is the one piece of
+                # output a harness must parse, so it goes on stdout —
+                # alone on the first line, before the human-facing
+                # announce on stderr.
+                print(port, flush=True)
             print(
                 f"repro-cat serve: listening on http://{args.host}:{port} "
                 f"(catalog: {args.catalog or 'none'})",
@@ -939,6 +1031,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
                     service_batch_size=args.batch_size,
                     service_retries=args.retries,
                     stale_max_age=args.stale_max_age,
+                    shards=args.shards,
                 ),
             )
             front = SupervisorServer(supervisor, host=args.host, port=args.port)
@@ -957,10 +1050,12 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 print("repro-cat serve: stopped", file=sys.stderr)
             return 0
 
-        from repro.serve import MetricCatalogStore, MetricService, run_server
+        from repro.serve import MetricService, open_catalog, run_server
 
         store = (
-            MetricCatalogStore(args.catalog) if args.catalog is not None else None
+            open_catalog(args.catalog, shards=args.shards)
+            if args.catalog is not None
+            else None
         )
         service = MetricService(
             store,
@@ -984,6 +1079,54 @@ def _main(argv: Optional[List[str]] = None) -> int:
         except KeyboardInterrupt:
             print("repro-cat serve: stopped", file=sys.stderr)
         return 0
+
+    if args.command == "loadtest":
+        import json
+
+        from repro.serve import LoadStep, Workload, run_load_drill
+
+        steps = [LoadStep("closed")] + [
+            LoadStep("open", offered_rps=rate) for rate in args.rps
+        ]
+        try:
+            workload = Workload(
+                pairs=((args.system, args.domain),),
+                clients=args.clients,
+                requests_per_client=args.requests,
+                base_seed=args.seed,
+                seed_pool=args.seed_pool,
+                hot_fraction=args.hot_fraction,
+            )
+        except ValueError as exc:
+            raise _usage_exit(f"repro-cat loadtest: {exc}")
+        report = run_load_drill(
+            args.catalog,
+            target=args.target,
+            workers=args.workers,
+            shards=args.shards,
+            workload=workload,
+            steps=steps,
+            cache_dir=args.cache_dir,
+        )
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "target": report.target,
+                        "ok": report.ok,
+                        "coalesced": report.coalesced,
+                        "catalog_hits": report.catalog_hits,
+                        "steps": [s.to_row() for s in report.steps],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(report.summary())
+        for violation in report.violations:
+            print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 0 if report.ok else 1
 
     if args.command == "chaos":
         from repro.faults import parse_chaos_spec

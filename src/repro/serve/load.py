@@ -1,0 +1,582 @@
+"""The closed-loop load harness for the serving tier.
+
+:func:`run_load_drill` is the executable form of the serving tier's
+*scaling* contract, the way :func:`~repro.serve.chaos.run_chaos_drill`
+is the executable form of its fault-tolerance contract.  It runs the
+same deterministic workload against a serving target and judges every
+response against the invariant:
+
+    every answer is **bit-identical** (by
+    :func:`~repro.serve.chaos.definition_digest`) to the single-process
+    baseline, a **typed rejection** (429/503, or a typed transport
+    error under saturation), or an **explicitly stale** degraded
+    answer.  Anything else is a recorded violation.
+
+The harness borrows ELAPS's methodology: sweep a workload parameter
+(offered requests per second), measure latency percentiles at each
+step, and let the resulting saturation curve — not an anecdote — show
+where coalescing, batching, and backpressure stop holding.
+
+Workload models
+---------------
+*Closed loop* — each of N clients issues its next request the moment
+the previous one completes; concurrency is fixed at N and the achieved
+throughput *is* the measurement.  *Open loop* — requests are fired on a
+fixed global schedule (``offered_rps``) regardless of completions, so
+queueing delay shows up as latency instead of silently throttling the
+offered load.  Per-client request streams are derived from a seeded
+RNG (client index + workload seed), so a drill replays bit-identically.
+
+Every stream opens with a shared *rendezvous* request — all clients ask
+for the same fresh analysis at once — which makes request coalescing
+observable: one client computes, the riders wait, and the worker's
+``serve.coalesced`` stat counts them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.io.digest import sha256_hex
+from repro.obs import get_tracer
+from repro.serve.chaos import _baseline_digests, definition_digest
+from repro.serve.client import CatalogClient
+from repro.serve.service import MetricService, ServiceError, TransportError
+from repro.serve.supervisor import (
+    ServiceSupervisor,
+    SupervisorConfig,
+    SupervisorServer,
+)
+
+__all__ = [
+    "LoadReport",
+    "LoadStep",
+    "LoadStepReport",
+    "RequestSpec",
+    "Workload",
+    "latency_percentile",
+    "run_load_drill",
+]
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One planned request: a domain analysis or a single-metric read."""
+
+    kind: str  # "analyze" | "metric"
+    system: str
+    domain: str
+    seed: int
+    metric: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class LoadStep:
+    """One step of a drill: a workload model plus (for open loop) the
+    offered request rate the schedule is built from."""
+
+    mode: str = "closed"  # "closed" | "open"
+    offered_rps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError(f"LoadStep.mode must be closed|open, not {self.mode!r}")
+        if self.mode == "open" and (
+            self.offered_rps is None or self.offered_rps <= 0
+        ):
+            raise ValueError("open-loop LoadStep needs offered_rps > 0")
+
+    def label(self) -> str:
+        if self.mode == "closed":
+            return "closed"
+        return f"open@{self.offered_rps:g}rps"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A deterministic request population.
+
+    ``hot_fraction`` of each stream (after the rendezvous request) is
+    single-metric ``GET`` reads against the rendezvous seed — catalog
+    hits once the first analysis publishes — and the rest are domain
+    analyses over ``seed_pool`` distinct seeds.  With ``unique_seeds``
+    every request is instead a globally unique fresh analysis, which
+    makes the workload pipeline-bound: the right population for
+    comparing multi-process against single-process throughput.
+    """
+
+    pairs: Sequence[Tuple[str, str]] = (("aurora", "branch"),)
+    clients: int = 4
+    requests_per_client: int = 6
+    base_seed: int = 2024
+    seed_pool: int = 2
+    hot_fraction: float = 0.6
+    unique_seeds: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ValueError("Workload.pairs must be non-empty")
+        if self.clients < 1 or self.requests_per_client < 1:
+            raise ValueError("Workload needs >= 1 client and >= 1 request each")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("Workload.hot_fraction must be in [0, 1]")
+        if self.seed_pool < 1:
+            raise ValueError("Workload.seed_pool must be >= 1")
+
+    def universe(self) -> List[Tuple[str, str, int]]:
+        """Every ``(system, domain, seed)`` analysis any stream can
+        request — the baseline precomputes ground truth for all of it."""
+        keys: List[Tuple[str, str, int]] = []
+        if self.unique_seeds:
+            for client in range(self.clients):
+                for i in range(self.requests_per_client):
+                    system, domain = self.pairs[
+                        (client * self.requests_per_client + i) % len(self.pairs)
+                    ]
+                    keys.append((system, domain, self._unique_seed(client, i)))
+        else:
+            for system, domain in self.pairs:
+                for offset in range(self.seed_pool):
+                    keys.append((system, domain, self.base_seed + offset))
+        seen = set()
+        unique = []
+        for key in keys:
+            if key not in seen:
+                seen.add(key)
+                unique.append(key)
+        return unique
+
+    def _unique_seed(self, client: int, i: int) -> int:
+        return self.base_seed + client * self.requests_per_client + i
+
+    def _rng(self, client: int) -> random.Random:
+        return random.Random(
+            int(sha256_hex(f"load:{self.base_seed}:client:{client}", length=8), 16)
+        )
+
+    def client_stream(
+        self, client: int, metric_names: Dict[Tuple[str, str], Sequence[str]]
+    ) -> List[RequestSpec]:
+        """Client ``client``'s full request stream — a pure function of
+        the workload parameters, so drills replay bit-identically."""
+        if self.unique_seeds:
+            return [
+                RequestSpec(
+                    "analyze",
+                    *self.pairs[
+                        (client * self.requests_per_client + i) % len(self.pairs)
+                    ],
+                    seed=self._unique_seed(client, i),
+                )
+                for i in range(self.requests_per_client)
+            ]
+        rng = self._rng(client)
+        stream = [
+            RequestSpec("analyze", *self.pairs[0], seed=self.base_seed)
+        ]  # the rendezvous: every client, same fresh analysis, at once
+        while len(stream) < self.requests_per_client:
+            system, domain = self.pairs[rng.randrange(len(self.pairs))]
+            if rng.random() < self.hot_fraction:
+                names = metric_names[(system, domain)]
+                stream.append(
+                    RequestSpec(
+                        "metric",
+                        system,
+                        domain,
+                        seed=self.base_seed,
+                        metric=names[rng.randrange(len(names))],
+                    )
+                )
+            else:
+                stream.append(
+                    RequestSpec(
+                        "analyze",
+                        system,
+                        domain,
+                        seed=self.base_seed + rng.randrange(self.seed_pool),
+                    )
+                )
+        return stream
+
+
+def latency_percentile(latencies: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (the load-testing convention: p99 is an
+    observed sample, never an interpolated value that nobody saw)."""
+    if not latencies:
+        return 0.0
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], not {q}")
+    ordered = sorted(latencies)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class LoadStepReport:
+    """Everything one step observed, judged against the invariant.
+
+    ``identical`` and ``stale`` count per-*metric* verdicts — a domain
+    analysis response carries every metric of its domain, each judged
+    separately — so both can legitimately exceed ``requests``.
+    """
+
+    step: LoadStep
+    requests: int = 0
+    identical: int = 0
+    stale: int = 0
+    rejected: int = 0
+    transport_rejected: int = 0
+    violations: List[str] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def achieved_rps(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.requests / self.duration_seconds
+
+    @property
+    def p50_ms(self) -> float:
+        return latency_percentile(self.latencies, 50) * 1000.0
+
+    @property
+    def p95_ms(self) -> float:
+        return latency_percentile(self.latencies, 95) * 1000.0
+
+    @property
+    def p99_ms(self) -> float:
+        return latency_percentile(self.latencies, 99) * 1000.0
+
+    def to_row(self) -> Dict[str, Any]:
+        return {
+            "step": self.step.label(),
+            "offered_rps": self.step.offered_rps,
+            "achieved_rps": round(self.achieved_rps, 2),
+            "requests": self.requests,
+            "identical": self.identical,
+            "stale": self.stale,
+            "rejected": self.rejected,
+            "violations": len(self.violations),
+            "p50_ms": round(self.p50_ms, 1),
+            "p95_ms": round(self.p95_ms, 1),
+            "p99_ms": round(self.p99_ms, 1),
+        }
+
+
+@dataclass
+class LoadReport:
+    """One full drill: per-step reports plus pool-wide evidence."""
+
+    target: str
+    workload: Workload
+    steps: List[LoadStepReport] = field(default_factory=list)
+    coalesced: int = 0
+    catalog_hits: int = 0
+    supervisor_status: Optional[Dict[str, Any]] = None
+
+    @property
+    def requests(self) -> int:
+        return sum(s.requests for s in self.steps)
+
+    @property
+    def violations(self) -> List[str]:
+        return [v for s in self.steps for v in s.violations]
+
+    @property
+    def ok(self) -> bool:
+        """The invariant held at every step: every response identical,
+        explicitly stale, or a typed rejection."""
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"load drill [{self.target}]: {self.requests} request(s), "
+            f"{len(self.violations)} violation(s), "
+            f"coalesced={self.coalesced}, catalog_hits={self.catalog_hits}"
+        ]
+        for s in self.steps:
+            lines.append(
+                f"  {s.step.label()}: {s.requests} req in "
+                f"{s.duration_seconds:.2f}s ({s.achieved_rps:.1f} rps) — "
+                f"{s.identical} identical, {s.stale} stale, "
+                f"{s.rejected} rejected; p50/p95/p99 = "
+                f"{s.p50_ms:.0f}/{s.p95_ms:.0f}/{s.p99_ms:.0f} ms"
+            )
+        return "\n".join(lines)
+
+
+def _drive_client(
+    port: int,
+    stream: Sequence[RequestSpec],
+    *,
+    mode: str,
+    start_at: float,
+    period: float,
+    offset: float,
+    timeout: float,
+) -> List[Tuple[RequestSpec, str, Any, float]]:
+    """One client's blocking drive loop (runs on an executor thread).
+
+    Returns ``(spec, outcome, payload-or-exc, latency_seconds)`` rows;
+    classification happens on the main thread so counter increments and
+    report mutation stay single-threaded.
+    """
+    client = CatalogClient(port=port, timeout=timeout)
+    rows: List[Tuple[RequestSpec, str, Any, float]] = []
+    for i, spec in enumerate(stream):
+        if mode == "open":
+            due = start_at + offset + i * period
+            delay = due - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+        began = time.perf_counter()
+        try:
+            if spec.kind == "metric":
+                payload = client.metric(
+                    spec.system, spec.domain, spec.metric, seed=spec.seed
+                )
+                rows.append((spec, "metric", payload, time.perf_counter() - began))
+            else:
+                metrics = client.analyze(spec.system, spec.domain, seed=spec.seed)
+                rows.append((spec, "analyze", metrics, time.perf_counter() - began))
+        except Exception as exc:  # noqa: BLE001 — classified on the main thread
+            rows.append((spec, "error", exc, time.perf_counter() - began))
+    return rows
+
+
+def _classify(
+    report: LoadStepReport,
+    spec: RequestSpec,
+    outcome: str,
+    payload: Any,
+    baseline: Dict[Tuple[str, str, int], Dict[str, str]],
+) -> None:
+    """Judge one response against the invariant; mutates ``report``."""
+    tracer = get_tracer()
+    report.requests += 1
+    tracer.incr("load.requests")
+    expected = baseline.get((spec.system, spec.domain, spec.seed), {})
+    if outcome == "error":
+        exc = payload
+        if isinstance(exc, TransportError):
+            # Typed transport failure (connection refused/reset under
+            # saturation) — within the contract, but tracked apart so a
+            # flaky network path cannot masquerade as clean backpressure.
+            report.rejected += 1
+            report.transport_rejected += 1
+            tracer.incr("load.rejected")
+            return
+        if isinstance(exc, ServiceError):
+            structured = isinstance(exc.payload, dict) and "error" in exc.payload
+            if exc.status in (429, 503, 504) and structured:
+                report.rejected += 1
+                tracer.incr("load.rejected")
+            else:
+                report.violations.append(
+                    f"{spec}: untyped or non-retryable error "
+                    f"{exc.status}: {exc.payload!r}"
+                )
+                tracer.incr("load.violations")
+            return
+        report.violations.append(
+            f"{spec}: raw {type(exc).__name__} escaped the client: {exc}"
+        )
+        tracer.incr("load.violations")
+        return
+    pairs = (
+        [(spec.metric, payload)] if outcome == "metric" else sorted(payload.items())
+    )
+    for name, metric_payload in pairs:
+        if metric_payload.get("stale"):
+            report.stale += 1
+            tracer.incr("load.stale")
+            continue
+        got = definition_digest(metric_payload)
+        want = expected.get(name)
+        if got == want:
+            report.identical += 1
+            tracer.incr("load.identical")
+        else:
+            report.violations.append(
+                f"{spec} {name}: definition digest {got} != baseline "
+                f"{want} and not marked stale"
+            )
+            tracer.incr("load.violations")
+
+
+async def _run_step(
+    port: int,
+    step: LoadStep,
+    streams: Sequence[Sequence[RequestSpec]],
+    baseline: Dict[Tuple[str, str, int], Dict[str, str]],
+    *,
+    timeout: float,
+) -> LoadStepReport:
+    report = LoadStepReport(step=step)
+    loop = asyncio.get_running_loop()
+    period = 0.0
+    if step.mode == "open":
+        # Global schedule: requests evenly spaced at offered_rps, client
+        # i firing its j-th request at (j * clients + i) / rps.
+        period = len(streams) / step.offered_rps
+    pool = ThreadPoolExecutor(
+        max_workers=len(streams), thread_name_prefix="repro-load"
+    )
+    began = time.perf_counter()
+    try:
+        start_at = time.monotonic()
+        futures = [
+            loop.run_in_executor(
+                pool,
+                lambda c=client, s=stream: _drive_client(
+                    port,
+                    s,
+                    mode=step.mode,
+                    start_at=start_at,
+                    period=period,
+                    offset=(c * period / max(1, len(streams)))
+                    if step.mode == "open"
+                    else 0.0,
+                    timeout=timeout,
+                ),
+            )
+            for client, stream in enumerate(streams)
+        ]
+        per_client = await asyncio.gather(*futures)
+    finally:
+        pool.shutdown(wait=True)
+    report.duration_seconds = time.perf_counter() - began
+    for rows in per_client:
+        for spec, outcome, payload, latency in rows:
+            report.latencies.append(latency)
+            _classify(report, spec, outcome, payload, baseline)
+    return report
+
+
+def _pool_stats(
+    target: str,
+    port: int,
+    supervisor: Optional[ServiceSupervisor],
+    timeout: float,
+) -> Tuple[int, int]:
+    """Sum ``serve.coalesced`` / ``serve.catalog_hits`` across the pool
+    — each worker's ``/healthz`` stats for the sharded tier, the single
+    listener's own for the baseline tier."""
+    coalesced = 0
+    catalog_hits = 0
+    ports = [port]
+    if supervisor is not None:
+        ports = [
+            w["port"]
+            for w in supervisor.status()["workers"]
+            if w["port"] is not None
+        ]
+    for worker_port in ports:
+        try:
+            stats = CatalogClient(port=worker_port, timeout=timeout).health()[
+                "stats"
+            ]
+        except Exception:  # noqa: BLE001 — a dead worker just contributes 0
+            continue
+        coalesced += int(stats.get("coalesced", 0))
+        catalog_hits += int(stats.get("catalog_hits", 0))
+    return coalesced, catalog_hits
+
+
+def run_load_drill(
+    catalog_root: Optional[str] = None,
+    *,
+    target: str = "sharded",
+    workers: int = 2,
+    shards: int = 2,
+    workload: Optional[Workload] = None,
+    steps: Sequence[LoadStep] = (LoadStep("closed"),),
+    cache_dir: Optional[str] = None,
+    config: Optional[SupervisorConfig] = None,
+    client_timeout: float = 60.0,
+    baseline: Optional[Dict[Tuple[str, str, int], Dict[str, str]]] = None,
+) -> LoadReport:
+    """Drive the workload through a serving target, step by step.
+
+    ``target`` selects the tier: ``"sharded"`` starts a
+    :class:`ServiceSupervisor` pool (``workers`` processes over
+    ``shards`` catalog shards) behind a :class:`SupervisorServer`
+    front; ``"single"`` starts one in-process
+    :class:`~repro.serve.http.HttpMetricServer` — the baseline the
+    sharded tier's throughput is judged against.
+
+    Ground truth is computed first (one plain service answers the whole
+    workload universe), or passed in via ``baseline`` so a benchmark
+    can amortise it across drills.  Returns a :class:`LoadReport`;
+    ``report.ok`` is the invariant verdict.
+    """
+    if target not in ("sharded", "single"):
+        raise ValueError(f"target must be sharded|single, not {target!r}")
+    if target == "sharded" and catalog_root is None:
+        raise ValueError("the sharded target needs a catalog_root")
+    workload = workload or Workload()
+    if not steps:
+        raise ValueError("run_load_drill needs at least one LoadStep")
+    universe = workload.universe()
+    if baseline is None:
+        baseline, _ = asyncio.run(_baseline_digests(universe, cache_dir))
+    metric_names = {}
+    for system, domain, seed in universe:
+        metric_names.setdefault(
+            (system, domain), sorted(baseline[(system, domain, seed)])
+        )
+    streams = [
+        workload.client_stream(i, metric_names) for i in range(workload.clients)
+    ]
+    report = LoadReport(target=target, workload=workload)
+
+    async def drive() -> None:
+        supervisor: Optional[ServiceSupervisor] = None
+        if target == "sharded":
+            supervisor_config = config or SupervisorConfig(
+                workers=workers,
+                shards=shards,
+                heartbeat_timeout=5.0,
+                stale_max_age=3600.0,
+            )
+            supervisor = ServiceSupervisor(
+                catalog_root, cache_dir=cache_dir, config=supervisor_config
+            )
+            front = SupervisorServer(supervisor)
+            port = await front.start()
+        else:
+            from repro.serve.http import HttpMetricServer
+            from repro.serve.shard import open_catalog
+
+            store = None
+            if catalog_root is not None:
+                store = open_catalog(catalog_root)
+            service = MetricService(
+                store, cache_dir=cache_dir, stale_max_age=3600.0
+            )
+            front = HttpMetricServer(service, port=0)
+            port = await front.start()
+        try:
+            for step in steps:
+                report.steps.append(
+                    await _run_step(
+                        port, step, streams, baseline, timeout=client_timeout
+                    )
+                )
+            loop = asyncio.get_running_loop()
+            report.coalesced, report.catalog_hits = await loop.run_in_executor(
+                None, lambda: _pool_stats(target, port, supervisor, client_timeout)
+            )
+            if supervisor is not None:
+                report.supervisor_status = supervisor.status()
+        finally:
+            await front.stop()
+
+    asyncio.run(drive())
+    return report

@@ -525,6 +525,7 @@ class MetricService:
         if self.store is None:
             return None
         from repro.core.signatures import signatures_for
+        from repro.serve.shard import ShardUnavailable
 
         arch, events_digest = self._node_identity(request.system, request.seed)
         config_digest = analysis_config_digest(
@@ -535,13 +536,18 @@ class MetricService:
         )
         entries: Dict[str, CatalogEntry] = {}
         for signature in signatures_for(request.domain):
-            entry = self.store.latest(
-                arch,
-                signature.name,
-                config_digest,
-                events_digest=events_digest,
-                event_digests=dependencies,
-            )
+            try:
+                entry = self.store.latest(
+                    arch,
+                    signature.name,
+                    config_digest,
+                    events_digest=events_digest,
+                    event_digests=dependencies,
+                )
+            except ShardUnavailable:
+                # The shard owning this metric is down: treat as a miss
+                # and recompute — the service can still answer fresh.
+                return None
             if entry is None:
                 return None
             entries[signature.name] = entry
@@ -561,6 +567,7 @@ class MetricService:
         ):
             return None
         from repro.core.signatures import signatures_for
+        from repro.serve.shard import ShardUnavailable
 
         arch, _ = self._node_identity(request.system, request.seed)
         config_digest = analysis_config_digest(
@@ -568,9 +575,12 @@ class MetricService:
         )
         served: Dict[str, ServedMetric] = {}
         for signature in signatures_for(request.domain):
-            found = self.store.stale_latest(
-                arch, signature.name, config_digest, max_age=self.stale_max_age
-            )
+            try:
+                found = self.store.stale_latest(
+                    arch, signature.name, config_digest, max_age=self.stale_max_age
+                )
+            except ShardUnavailable:
+                return None
             if found is None:
                 return None
             entry, age = found
@@ -748,14 +758,16 @@ class MetricService:
             )
         }
         if self.store is not None and job.request.faults is None:
+            from repro.serve.shard import ShardUnavailable
+
             try:
                 entries = {
                     name: self.store.put(entry) for name, entry in entries.items()
                 }
-            except OSError:
-                # A sick catalog disk must not fail a successful
-                # analysis: serve the computed (unpersisted) entries and
-                # count the store failure loudly.
+            except (OSError, ShardUnavailable):
+                # A sick catalog disk (or a down shard) must not fail a
+                # successful analysis: serve the computed (unpersisted)
+                # entries and count the store failure loudly.
                 tracer.incr("serve.catalog_store_errors")
         self._inflight.pop(job.request.key, None)
         if not job.future.done():

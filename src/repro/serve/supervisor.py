@@ -91,12 +91,22 @@ class SupervisorConfig:
     service_retries: int = 1
     service_task_timeout: Optional[float] = None
     stale_max_age: Optional[float] = None
+    #: Consistent-hash shard count of the catalog root (0 = unsharded).
+    #: With shards, every worker opens the same
+    #: :class:`~repro.serve.shard.ShardedCatalogStore` (any worker can
+    #: read and publish any key — ownership is *affinity*, not
+    #: capability) and the dispatcher routes each request to the worker
+    #: owning its key's shard, so identical requests concentrate on one
+    #: worker and coalesce instead of fanning out round-robin.
+    shards: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("SupervisorConfig.workers must be >= 1")
         if self.restart_intensity < 1:
             raise ValueError("restart_intensity must be >= 1")
+        if self.shards < 0:
+            raise ValueError("SupervisorConfig.shards must be >= 0")
 
 
 def _worker_entry(
@@ -133,10 +143,15 @@ def _worker_entry(
 
     store = None
     if catalog_root is not None:
-        store = MetricCatalogStore(
-            catalog_root,
-            failpoint=chaos.catalog_failpoint if chaos is not None else None,
-        )
+        failpoint = chaos.catalog_failpoint if chaos is not None else None
+        if config.get("shards", 0) > 0:
+            from repro.serve.shard import ShardedCatalogStore
+
+            store = ShardedCatalogStore(
+                catalog_root, n_shards=config["shards"], failpoint=failpoint
+            )
+        else:
+            store = MetricCatalogStore(catalog_root, failpoint=failpoint)
 
     service = MetricService(
         store,
@@ -223,19 +238,39 @@ class ServiceSupervisor:
         self._dispatched = 0
         self._redispatches = 0
         self._stale_fallbacks = 0
+        self._front_serves = 0
         # (system, domain, seed) -> (arch, config digest), for the
         # degraded-mode catalog read (see _request_identity).
         self._identity_cache: Dict[Tuple[str, str, int], Tuple[str, str]] = {}
+        # (system, seed, domain) -> (events digest, dependency digests),
+        # for the front-replica read (see _fresh_answer).
+        self._evidence_cache: Dict[
+            Tuple[str, int, str], Tuple[str, Dict[str, str]]
+        ] = {}
+        # Coalescing identity -> [slot index, in-flight count]: identical
+        # concurrent analyses stick to one worker (see dispatch).
+        self._sticky: Dict[Tuple, List[Any]] = {}
         self._chaos = None
         if chaos_spec:
             from repro.faults.chaos import ChaosInjector, parse_chaos_spec
 
             self._chaos = ChaosInjector(parse_chaos_spec(chaos_spec))
         # Read-only catalog view for the degraded path (no failpoint:
-        # the supervisor never publishes).
-        self._store = (
-            MetricCatalogStore(catalog_root) if catalog_root is not None else None
-        )
+        # the supervisor never publishes).  Creating the sharded store
+        # here also publishes the topology manifest before any worker
+        # spawns, so workers always open an agreed-upon ring.
+        self._store = None
+        self._ring = None
+        if catalog_root is not None:
+            if self.config.shards > 0:
+                from repro.serve.shard import ShardedCatalogStore
+
+                self._store = ShardedCatalogStore(
+                    catalog_root, n_shards=self.config.shards
+                )
+                self._ring = self._store.ring
+            else:
+                self._store = MetricCatalogStore(catalog_root)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -289,6 +324,7 @@ class ServiceSupervisor:
             "service_task_timeout": self.config.service_task_timeout,
             "stale_max_age": self.config.stale_max_age,
             "heartbeat_interval": self.config.heartbeat_interval,
+            "shards": self.config.shards,
         }
         seam = getattr(self, "_exit_after", None)
         if seam is not None:
@@ -415,44 +451,227 @@ class ServiceSupervisor:
         finally:
             conn.close()
 
+    def _slot_for_shard(self, shard: str) -> int:
+        """The worker slot owning a shard: shard i belongs to worker
+        ``i mod workers`` — every worker owns a fixed, disjoint shard
+        set, every shard has exactly one owner."""
+        assert self._ring is not None
+        return self._ring.shards.index(shard) % self.config.workers
+
+    @staticmethod
+    def _parse_metric_target(
+        method: str, target: str
+    ) -> Optional[Tuple[str, str, str, int, Optional[str]]]:
+        """``(system, domain, metric, seed, faults)`` of a keyed read,
+        or None when the request is not ``GET /v1/metric/...`` or is
+        malformed (the worker owns producing the structured 400/404)."""
+        if method != "GET":
+            return None
+        from urllib.parse import parse_qs, unquote, urlsplit
+
+        split = urlsplit(target)
+        path = [unquote(p) for p in split.path.split("/") if p]
+        if len(path) != 5 or path[:2] != ["v1", "metric"]:
+            return None
+        _, _, system, domain, metric = path
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        try:
+            seed = int(query.get("seed", 2024))
+        except ValueError:
+            return None
+        return system, domain, metric, seed, query.get("faults") or None
+
+    def _preferred_slot(self, method: str, target: str) -> Optional[int]:
+        """Shard-affinity routing for keyed reads: the worker slot that
+        *owns* ``GET /v1/metric/...``'s catalog key via the ring — the
+        worker whose replica cache and coalescing window already hold
+        that key.  None when the topology is unsharded or the request
+        has no single key (health, listings, analyses).  Affinity is
+        advisory — any worker *can* serve any key over the shared store
+        — so a down owner falls back to round-robin instead of failing.
+        """
+        if self._ring is None:
+            return None
+        parsed = self._parse_metric_target(method, target)
+        if parsed is None:
+            return None
+        system, domain, metric, seed, _ = parsed
+        try:
+            arch, _ = self._request_identity(system, domain, seed)
+            return self._slot_for_shard(self._ring.lookup(arch, metric))
+        except Exception:  # noqa: BLE001 — affinity is advisory, never fatal
+            return None
+
+    def _node_evidence(
+        self, system: str, seed: int, domain: str
+    ) -> Tuple[str, Dict[str, str]]:
+        """(event-set digest, per-event dependency digests) for a keyed
+        read — the same freshness evidence the workers present to the
+        store, computed the same way, cached per (system, seed, domain).
+        """
+        key = (system, seed, domain)
+        evidence = self._evidence_cache.get(key)
+        if evidence is None:
+            from repro.core.sweep import SWEEP_SYSTEMS
+            from repro.incr.engine import domain_event_digests
+
+            node = SWEEP_SYSTEMS[system](seed=seed)
+            evidence = (
+                node.events.content_digest(),
+                domain_event_digests(node.events, domain),
+            )
+            self._evidence_cache[key] = evidence
+        return evidence
+
+    def _fresh_answer(self, method: str, target: str) -> Optional[Dict[str, Any]]:
+        """Front-replica read: answer ``GET /v1/metric/...`` from the
+        dispatcher's own catalog view when the stored entry carries the
+        full freshness evidence — the exact check a worker's catalog
+        hit makes, fronted by the shard store's read replicas, so a hot
+        key skips the internal hop entirely.  Returns None on any miss
+        or doubt (the request is then forwarded to the pool as usual);
+        never serves stale or faulted requests."""
+        if self._store is None:
+            return None
+        parsed = self._parse_metric_target(method, target)
+        if parsed is None:
+            return None
+        system, domain, metric, seed, faults = parsed
+        if faults:
+            return None
+        try:
+            arch, config_digest = self._request_identity(system, domain, seed)
+            events_digest, dependencies = self._node_evidence(
+                system, seed, domain
+            )
+            entry = self._store.latest(
+                arch,
+                metric,
+                config_digest,
+                events_digest=events_digest,
+                event_digests=dependencies,
+            )
+        except Exception:  # noqa: BLE001 — the fast path is advisory
+            return None
+        if entry is None:
+            return None
+        with self._lock:
+            self._front_serves += 1
+        get_tracer().incr("shard.front_serves")
+        payload = entry.to_payload()
+        payload["source"] = "catalog"
+        payload["stale"] = False
+        return payload
+
+    @staticmethod
+    def _coalescing_identity(
+        method: str, target: str, body: bytes
+    ) -> Optional[Tuple]:
+        """The sticky-dispatch key of ``POST /v1/analyze``: requests
+        with equal identities share one worker *while one is in
+        flight*, so the worker's request coalescing sees them as one
+        computation.  Distinct identities carry no affinity (they
+        round-robin for balance — an analysis spans every metric of a
+        domain, so no single shard owns it)."""
+        if method != "POST" or target.split("?", 1)[0] != "/v1/analyze":
+            return None
+        try:
+            request = json.loads(body.decode() or "{}")
+            return (
+                request["system"],
+                request["domain"],
+                int(request.get("seed", 2024)),
+                request.get("faults"),
+            )
+        except Exception:  # noqa: BLE001 — malformed: no affinity
+            return None
+
     async def dispatch(
         self, method: str, target: str, body: bytes, *, timeout: float = 60.0
     ) -> Tuple[int, Dict[str, Any]]:
-        """Proxy one request: round-robin over live workers, re-dispatch
-        on transport failure, degrade to a stale catalog read when no
-        worker is live."""
+        """Proxy one request: fully-fresh keyed reads answered straight
+        from the dispatcher's replica-fronted catalog view, then
+        affinity (the shard owner for keyed reads, the in-flight twin's
+        worker for analyses), round-robin over live workers otherwise,
+        re-dispatch on transport failure, degrade to a stale catalog
+        read when no worker is live."""
         loop = asyncio.get_running_loop()
         last_error: Optional[TransportError] = None
-        for _ in range(self.config.dispatch_attempts):
+        if method == "GET":
+            # Hot keyed reads are served straight off the dispatcher's
+            # replica-fronted catalog view when fully fresh — no worker
+            # hop at all (see _fresh_answer).
+            fresh = await loop.run_in_executor(
+                None, self._fresh_answer, method, target
+            )
+            if fresh is not None:
+                return 200, fresh
+        preferred = self._preferred_slot(method, target)
+        sticky = self._coalescing_identity(method, target, body)
+        registered = False
+        if sticky is not None:
             with self._lock:
-                self._dispatched += 1
-                n = self._dispatched
-            live = self._live_slots()
-            if not live:
-                await asyncio.sleep(self.config.heartbeat_interval)
-                live = self._live_slots()
-            if not live:
-                break
-            slot = live[n % len(live)]
-            if self._chaos is not None and self._chaos.fires(
-                "worker-kill", f"dispatch:{n}"
-            ):
-                # Chaos: SIGKILL the worker shortly after handing it this
-                # request — it dies mid-batch and the request must be
-                # re-dispatched; the monitor must notice and restart it.
-                process = slot.process
-                if process is not None:
-                    threading.Timer(0.05, process.kill).start()
-            try:
-                return await loop.run_in_executor(
-                    None, self._forward, slot.port, method, target, body, timeout
-                )
-            except TransportError as exc:
-                last_error = exc
+                held = self._sticky.get(sticky)
+                if held is not None:
+                    preferred = held[0]
+        try:
+            for attempt in range(self.config.dispatch_attempts):
                 with self._lock:
-                    self._redispatches += 1
-                get_tracer().incr("serve.redispatch")
-                continue
+                    self._dispatched += 1
+                    n = self._dispatched
+                live = self._live_slots()
+                if not live:
+                    await asyncio.sleep(self.config.heartbeat_interval)
+                    live = self._live_slots()
+                if not live:
+                    break
+                slot = None
+                if preferred is not None and attempt == 0:
+                    slot = next((s for s in live if s.index == preferred), None)
+                    if slot is not None:
+                        get_tracer().incr("shard.affinity_hits")
+                if slot is None:
+                    if preferred is not None:
+                        get_tracer().incr("shard.affinity_fallbacks")
+                    slot = live[n % len(live)]
+                if sticky is not None and not registered:
+                    # Publish where this analysis runs so identical
+                    # concurrent requests ride the same worker (and its
+                    # coalescing window) instead of recomputing elsewhere.
+                    registered = True
+                    with self._lock:
+                        held = self._sticky.get(sticky)
+                        if held is None:
+                            self._sticky[sticky] = [slot.index, 1]
+                        else:
+                            held[1] += 1
+                if self._chaos is not None and self._chaos.fires(
+                    "worker-kill", f"dispatch:{n}"
+                ):
+                    # Chaos: SIGKILL the worker shortly after handing it this
+                    # request — it dies mid-batch and the request must be
+                    # re-dispatched; the monitor must notice and restart it.
+                    process = slot.process
+                    if process is not None:
+                        threading.Timer(0.05, process.kill).start()
+                try:
+                    return await loop.run_in_executor(
+                        None, self._forward, slot.port, method, target, body, timeout
+                    )
+                except TransportError as exc:
+                    last_error = exc
+                    with self._lock:
+                        self._redispatches += 1
+                    get_tracer().incr("serve.redispatch")
+                    continue
+        finally:
+            if registered:
+                with self._lock:
+                    held = self._sticky.get(sticky)
+                    if held is not None:
+                        held[1] -= 1
+                        if held[1] <= 0:
+                            del self._sticky[sticky]
         stale = await loop.run_in_executor(None, self._stale_answer, method, target)
         if stale is not None:
             return 200, stale
@@ -495,25 +714,13 @@ class ServiceSupervisor:
         one.  Faulted requests get None (an unfaulted catalog entry
         would be a wrong answer for a diagnostics run).  Returns None
         when not applicable."""
-        if (
-            method != "GET"
-            or self._store is None
-            or self.config.stale_max_age is None
-        ):
+        if self._store is None or self.config.stale_max_age is None:
             return None
-        from urllib.parse import parse_qs, unquote, urlsplit
-
-        split = urlsplit(target)
-        path = [unquote(p) for p in split.path.split("/") if p]
-        if len(path) != 5 or path[:2] != ["v1", "metric"]:
+        parsed = self._parse_metric_target(method, target)
+        if parsed is None:
             return None
-        _, _, system, domain, metric = path
-        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
-        if query.get("faults"):
-            return None
-        try:
-            seed = int(query.get("seed", 2024))
-        except ValueError:
+        system, domain, metric, seed, faults = parsed
+        if faults:
             return None
         try:
             arch, config_digest = self._request_identity(system, domain, seed)
@@ -561,6 +768,7 @@ class ServiceSupervisor:
             "dispatched": self._dispatched,
             "redispatches": self._redispatches,
             "stale_fallbacks": self._stale_fallbacks,
+            "front_serves": self._front_serves,
             "fsck": (
                 dataclasses.asdict(self.fsck_report)
                 if self.fsck_report is not None
@@ -568,6 +776,7 @@ class ServiceSupervisor:
             ),
             "config": {
                 "workers": self.config.workers,
+                "shards": self.config.shards,
                 "heartbeat_timeout": self.config.heartbeat_timeout,
                 "restart_intensity": self.config.restart_intensity,
                 "restart_window": self.config.restart_window,

@@ -47,7 +47,9 @@ class TestSupervisedServing:
     def test_pool_serves_survives_kill_and_degrades(self, tmp_path):
         """One pool exercise: serve -> SIGKILL one worker (request is
         re-dispatched, worker restarts within budget) -> kill every
-        worker (stale fallback from the supervisor's catalog view)."""
+        worker (a fully-fresh published key is still served fresh from
+        the dispatcher's own catalog view; once freshness evidence
+        fails, the answer degrades to an explicitly stale one)."""
         supervisor = ServiceSupervisor(
             str(tmp_path / "catalog"),
             cache_dir=str(tmp_path / "cache"),
@@ -98,18 +100,33 @@ class TestSupervisedServing:
             assert recovered, "killed worker did not restart within budget"
             assert supervisor.status()["workers"][0]["restarts"] >= 1
 
-            # 3. Total outage: every response degrades to an explicit
-            # stale catalog answer rather than an error or a lie.
+            # 3. Total outage: the key the pool published still carries
+            # full freshness evidence, so the dispatcher's front-replica
+            # read answers it *fresh* — no worker needed at all.
             for slot in supervisor.slots:
                 slot.process.kill()
             await asyncio.sleep(0.1)
             third = await loop.run_in_executor(None, metric)
-            assert third["stale"] is True
+            assert third["stale"] is False
             assert third["source"] == "catalog"
-            assert third["stale_age_seconds"] >= 0.0
-            assert third["degraded"] == "no live workers"
-            # The definition itself is the one the pool published.
             assert third["coefficients_hex"] == first["coefficients_hex"]
+            assert supervisor.status()["front_serves"] >= 1
+
+            # 4. Outage plus drifted registry evidence: the front read
+            # refuses (evidence mismatch), no worker is live to
+            # recompute, so the answer degrades to an *explicitly*
+            # stale catalog read rather than an error or a lie.
+            supervisor._evidence_cache[("aurora", 2024, "branch")] = (
+                "0" * 16,
+                {"drifted-event": "0" * 16},
+            )
+            fourth = await loop.run_in_executor(None, metric)
+            assert fourth["stale"] is True
+            assert fourth["source"] == "catalog"
+            assert fourth["stale_age_seconds"] >= 0.0
+            assert fourth["degraded"] == "no live workers"
+            # The definition itself is the one the pool published.
+            assert fourth["coefficients_hex"] == first["coefficients_hex"]
 
             await front.stop()
 
@@ -227,6 +244,73 @@ class TestSupervisedServing:
         # Faulted requests must never get an unfaulted stale answer.
         assert (
             supervisor._stale_answer("GET", target + "&faults=kill%3D0.5")
+            is None
+        )
+
+    def test_fresh_answer_serves_replica_reads_without_a_worker(
+        self, tmp_path
+    ):
+        """The front-replica read: a keyed GET whose stored entry
+        carries full freshness evidence is answered by the dispatcher
+        itself — same check a worker's catalog hit makes — while any
+        doubt (drifted registry evidence, other seed, faults, POSTs)
+        falls through to the pool."""
+        from dataclasses import replace
+        from urllib.parse import quote
+
+        from repro import obs
+        from repro.core.pipeline import DOMAIN_CONFIGS
+
+        node = aurora_node(seed=7)
+        config = replace(DOMAIN_CONFIGS["branch"], use_measurement_cache=True)
+        result = AnalysisPipeline.for_domain("branch", node, config=config).run()
+        entries = entries_from_result(
+            result,
+            arch=node.name,
+            seed=7,
+            events_digest=event_set_digest(node.events),
+        )
+
+        supervisor = ServiceSupervisor(
+            str(tmp_path / "catalog"),
+            config=SupervisorConfig(workers=1, shards=2, stale_max_age=3600.0),
+        )
+        assert supervisor._store is not None
+        # One entry published against a drifted (wrong) event registry;
+        # the rest carry the genuine evidence.
+        tampered = entries[1]
+        supervisor._store.put(replace(tampered, events_digest="0" * 16))
+        for entry in entries:
+            if entry.metric != tampered.metric:
+                supervisor._store.put(entry)
+
+        target = f"/v1/metric/aurora/branch/{quote(METRIC)}?seed=7"
+        with obs.tracing(seed=7) as tracer:
+            answer = supervisor._fresh_answer("GET", target)
+            assert answer is not None
+            assert answer["metric"] == METRIC
+            assert answer["stale"] is False
+            assert answer["source"] == "catalog"
+            assert tracer.counters["shard.front_serves"] == 1
+        assert supervisor.status()["front_serves"] == 1
+
+        # Drifted registry evidence is a miss, not a wrong answer.
+        drifted = f"/v1/metric/aurora/branch/{quote(tampered.metric)}?seed=7"
+        assert supervisor._fresh_answer("GET", drifted) is None
+        # Another seed is another analysis; faulted requests and POSTs
+        # never take the fast path.
+        other_seed = f"/v1/metric/aurora/branch/{quote(METRIC)}?seed=2024"
+        assert supervisor._fresh_answer("GET", other_seed) is None
+        assert (
+            supervisor._fresh_answer("GET", target + "&faults=kill%3D0.5")
+            is None
+        )
+        assert supervisor._fresh_answer("POST", target) is None
+        # Unknown systems degrade to dispatch, not a crash.
+        assert (
+            supervisor._fresh_answer(
+                "GET", f"/v1/metric/nope/branch/{quote(METRIC)}?seed=7"
+            )
             is None
         )
 
