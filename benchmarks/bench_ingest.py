@@ -1,0 +1,175 @@
+"""EXP-INGEST: parser throughput and ingested-vs-simulated wall-clock.
+
+Two questions, one table (``results/ingest.md``):
+
+* **Parser throughput.** The perf-interval and PAPI parsers are the
+  ingestion hot path — a real collection campaign produces interval
+  logs in the 10^5-line range per kernel sweep.  Each parser is clocked
+  on a synthetic 100,000-line log (best-of timing, lines/second
+  reported), and the round-trip serializer alongside it, so a
+  throughput regression in either direction of the bit-stability
+  contract is visible in review.
+
+* **Ingested vs simulated wall-clock.** Ingesting the checked-in SPR
+  fixture corpus (25 files: parse, merge, calibrate, analyze) is
+  clocked against the equivalent simulator path (measure + analyze the
+  same branch domain).  Ingestion skips the simulation but pays for
+  parsing and assembly; the table records both so the "identical
+  pipeline" claim has a cost sheet attached.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.core.pipeline import AnalysisPipeline
+from repro.hardware.systems import aurora_node
+from repro.ingest import (
+    assemble,
+    load_manifest,
+    parse_papi_csv,
+    parse_perf,
+    run_ingest,
+    serialize_papi_csv,
+    serialize_samples,
+)
+from repro.io.tables import write_markdown
+
+DATA = Path(__file__).resolve().parent.parent / "tests" / "data" / "ingest"
+SPR_MANIFEST = DATA / "spr_branch" / "manifest.json"
+
+#: Synthetic log size: ~10^5 lines, the scale of one real interval
+#: campaign (1000 intervals x 100 events).
+N_INTERVALS = 1_000
+N_EVENTS = 100
+N_LINES = N_INTERVALS * N_EVENTS
+
+_ROWS = []
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _synthetic_interval_log() -> str:
+    lines = []
+    for i in range(N_INTERVALS):
+        ts = float(i + 1)
+        for e in range(N_EVENTS):
+            value = float(1000 * i + e)
+            lines.append(f"{ts!r},{value!r},,synthetic.event_{e:03d},0,100.00")
+    return "\n".join(lines) + "\n"
+
+
+def _synthetic_papi_log() -> str:
+    events = ",".join(f"SYN_EVT_{e:03d}" for e in range(N_EVENTS))
+    lines = [f"row,repetition,{events}"]
+    for i in range(N_INTERVALS):
+        cells = ",".join(repr(float(1000 * i + e)) for e in range(N_EVENTS))
+        lines.append(f"k{i % 11:02d},{i // 11},{cells}")
+    return "\n".join(lines) + "\n"
+
+
+def test_perf_interval_parser_throughput():
+    text = _synthetic_interval_log()
+    elapsed, (fmt, samples) = _best_of(
+        lambda: parse_perf(text, format="perf-interval")
+    )
+    assert fmt == "perf-interval"
+    assert len(samples) == N_INTERVALS
+    assert sum(len(s.readings) for s in samples) == N_LINES
+    _ROWS.append(
+        [
+            "parse perf-interval",
+            f"{N_LINES:,} lines",
+            f"{elapsed:.3f}",
+            f"{N_LINES / elapsed:,.0f} lines/s",
+        ]
+    )
+
+    ser_elapsed, canonical = _best_of(
+        lambda: serialize_samples("perf-interval", samples)
+    )
+    assert canonical == text  # the synthetic log is already canonical
+    _ROWS.append(
+        [
+            "serialize perf-interval",
+            f"{N_LINES:,} lines",
+            f"{ser_elapsed:.3f}",
+            f"{N_LINES / ser_elapsed:,.0f} lines/s",
+        ]
+    )
+
+
+def test_papi_parser_throughput():
+    text = _synthetic_papi_log()
+    n_cells = N_INTERVALS * N_EVENTS
+    elapsed, matrix = _best_of(lambda: parse_papi_csv(text))
+    assert len(matrix.records) == N_INTERVALS
+    _ROWS.append(
+        [
+            "parse papi-csv",
+            f"{n_cells:,} cells",
+            f"{elapsed:.3f}",
+            f"{n_cells / elapsed:,.0f} cells/s",
+        ]
+    )
+    ser_elapsed, canonical = _best_of(lambda: serialize_papi_csv(matrix))
+    assert canonical == text
+    _ROWS.append(
+        [
+            "serialize papi-csv",
+            f"{n_cells:,} cells",
+            f"{ser_elapsed:.3f}",
+            f"{n_cells / ser_elapsed:,.0f} cells/s",
+        ]
+    )
+
+
+def test_ingested_vs_simulated_wall_clock():
+    def ingested():
+        return run_ingest(assemble(load_manifest(SPR_MANIFEST)))
+
+    def simulated():
+        node = aurora_node(seed=2024)
+        return AnalysisPipeline.for_domain("branch", node).run()
+
+    ing_elapsed, outcome = _best_of(ingested)
+    sim_elapsed, result = _best_of(simulated)
+    assert outcome.result.metrics
+    assert result.metrics
+    _ROWS.append(
+        [
+            "ingest SPR corpus (parse+assemble+analyze)",
+            "25 files, 3x11x10 matrix",
+            f"{ing_elapsed:.3f}",
+            "-",
+        ]
+    )
+    _ROWS.append(
+        [
+            "simulate branch domain (measure+analyze)",
+            "aurora seed 2024",
+            f"{sim_elapsed:.3f}",
+            "-",
+        ]
+    )
+
+
+def test_write_ingest_table(results_dir):
+    assert _ROWS, "no bench rows collected"
+    path = write_markdown(
+        results_dir / "ingest.md",
+        ["operation", "workload", "best-of seconds", "throughput"],
+        _ROWS,
+        title="EXP-INGEST: parser throughput (synthetic 100k-line logs) "
+        "and ingested-vs-simulated wall-clock",
+    )
+    assert "perf-interval" in path.read_text()

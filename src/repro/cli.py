@@ -610,6 +610,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "bit-identical",
     )
     vet_smoke.add_argument("--seed", type=int, default=2024)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="ingest real perf/PAPI collector files: parse, assemble, and "
+        "run the identical noise-filter -> QRCP -> compose path",
+    )
+    ingest_sub = ingest.add_subparsers(dest="ingest_command", required=True)
+    ing_parse = ingest_sub.add_parser(
+        "parse",
+        help="parse one collector file and print its canonical form "
+        "(malformed input exits 2 naming file:line:column)",
+    )
+    ing_parse.add_argument("path", metavar="FILE")
+    ing_parse.add_argument(
+        "--format",
+        default="auto",
+        choices=("auto", "perf-human", "perf-csv", "perf-interval", "papi-csv"),
+        help="wire format (default: sniff)",
+    )
+    ing_parse.add_argument(
+        "--summary",
+        action="store_true",
+        help="print sample/reading counts instead of the canonical text",
+    )
+    ing_report = ingest_sub.add_parser(
+        "report",
+        help="assemble a manifest and print the ingestion report: event "
+        "aliasing, per-column quality flags, unmapped events, sources",
+    )
+    ing_report.add_argument("manifest", metavar="MANIFEST")
+    ing_report.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable provenance payload instead of the report",
+    )
+    ing_run = ingest_sub.add_parser(
+        "run",
+        help="assemble a manifest and run the standard analysis pipeline "
+        "on the ingested measurement",
+    )
+    ing_run.add_argument("manifest", metavar="MANIFEST")
+    ing_run.add_argument(
+        "--catalog",
+        default=None,
+        metavar="DIR",
+        help="publish composed metrics into this catalog with ingestion "
+        "provenance on their lineage",
+    )
+    ing_run.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on guard violations instead of degrading",
+    )
     return parser
 
 
@@ -870,6 +923,24 @@ def _catalog_main(args) -> int:
         print(f"version      : {entry.version}")
         if entry.trace_digest is not None:
             print(f"trace digest : {entry.trace_digest}")
+        if entry.provenance:
+            prov = entry.provenance
+            print(
+                f"provenance   : {prov.get('collector')} ingest, uarch "
+                f"{prov.get('uarch')} (family {prov.get('family')})"
+            )
+            print(
+                f"  manifest   : {prov.get('manifest')} "
+                f"sha256:{prov.get('manifest_digest')}"
+            )
+            for source, digest in sorted(prov.get("sources", {}).items()):
+                print(f"  source     : {source}  sha256:{digest}")
+            for event, offset in sorted(prov.get("baseline", {}).items()):
+                print(f"  baseline   : {event}: -{offset!r}")
+            for event, flags in sorted(prov.get("quality", {}).items()):
+                print(f"  quality    : {event}: {', '.join(flags)}")
+            if prov.get("unmapped"):
+                print(f"  unmapped   : {', '.join(prov['unmapped'])}")
         if entry.guards_fired:
             print(f"guards fired : {', '.join(entry.guards_fired)}")
         print()
@@ -964,9 +1035,100 @@ def _vet_main(args) -> int:
     return 0 if outcome.passed else 1
 
 
+def _ingest_main(args) -> int:
+    """``repro-cat ingest``: real-measurement ingestion.
+
+    Exit-code discipline: malformed or inconsistent input (parse errors
+    with file:line:column, bad manifests, alias conflicts) exits 2 like
+    any usage error; an ingested analysis that *runs* but fails (strict-
+    mode guard violation) exits 1.
+    """
+    from pathlib import Path
+
+    from repro.ingest import (
+        IngestError,
+        assemble,
+        load_manifest,
+        parse_papi_csv,
+        parse_perf,
+        run_ingest,
+        serialize_papi_csv,
+        serialize_samples,
+    )
+
+    if args.ingest_command == "parse":
+        path = Path(args.path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise _usage_exit(f"repro-cat ingest parse: {path}: {exc}")
+        try:
+            if args.format == "papi-csv" or (
+                args.format == "auto"
+                and text.lstrip().startswith("row,repetition,")
+            ):
+                matrix = parse_papi_csv(text, source=str(path))
+                if args.summary:
+                    print(
+                        f"papi-csv: {len(matrix.records)} record(s), "
+                        f"{len(matrix.row_labels)} row(s), "
+                        f"{len(matrix.event_names)} event(s)"
+                    )
+                else:
+                    print(serialize_papi_csv(matrix), end="")
+                return 0
+            fmt, samples = parse_perf(text, source=str(path), format=args.format)
+            if args.summary:
+                readings = sum(len(s.readings) for s in samples)
+                print(
+                    f"{fmt}: {len(samples)} sample(s), {readings} reading(s)"
+                )
+            else:
+                print(serialize_samples(fmt, samples), end="")
+        except IngestError as exc:
+            raise _usage_exit(f"repro-cat ingest parse: {exc}")
+        return 0
+
+    try:
+        bundle = assemble(load_manifest(args.manifest))
+    except IngestError as exc:
+        raise _usage_exit(f"repro-cat ingest: {exc}")
+
+    if args.ingest_command == "report":
+        if args.json:
+            import json
+
+            print(json.dumps(bundle.provenance(), indent=2, sort_keys=True))
+        else:
+            print(bundle.report())
+        return 0
+
+    # ingest_command == "run"
+    config = None
+    if args.strict:
+        from dataclasses import replace
+
+        config = replace(DOMAIN_CONFIGS[bundle.manifest.domain], strict=True)
+    store = None
+    if args.catalog is not None:
+        from repro.serve import open_catalog
+
+        store = open_catalog(args.catalog)
+    try:
+        outcome = run_ingest(bundle, config=config, store=store)
+    except GuardViolation as exc:
+        print(f"repro-cat ingest run: {exc}", file=sys.stderr)
+        return 1
+    print(outcome.summary())
+    return 0
+
+
 def _main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     _validate_args(args)
+
+    if args.command == "ingest":
+        return _ingest_main(args)
 
     if args.command == "trace":
         from pathlib import Path

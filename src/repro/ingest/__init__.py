@@ -1,0 +1,89 @@
+"""repro.ingest — real-measurement ingestion backend.
+
+Parses ``perf stat`` (human, ``-x,`` CSV, interval ``-I``) and PAPI/CAT
+CSV collections into bit-stable :class:`~repro.cat.measurement.MeasurementSet`
+matrices, resolves collector event names onto the
+:class:`~repro.events.registry.EventRegistry` through explicit per-uarch
+alias tables, and feeds the result through the *identical* noise-filter
+→ QRCP → compose path the simulator uses — with multiplexing and
+``<not counted>`` / ``<not supported>`` surfaced as per-column quality
+flags that force the ``degraded`` stamp on any metric composing them,
+and full ingestion provenance (source-file digests, collector, uarch,
+baseline calibration) on every published catalog entry.
+"""
+
+from repro.ingest.alias import (
+    KEY_EVENT_MAPPINGS,
+    AliasResolution,
+    normalize_event_name,
+    registry_for_family,
+    resolve_events,
+    resolve_uarch,
+)
+from repro.ingest.assemble import (
+    INGEST_DOMAINS,
+    IngestBundle,
+    IngestManifest,
+    assemble,
+    ingest_basis,
+    load_manifest,
+)
+from repro.ingest.model import (
+    QUALITIES,
+    QUALITY_MULTIPLEXED,
+    QUALITY_NOT_COUNTED,
+    QUALITY_NOT_SUPPORTED,
+    QUALITY_OK,
+    CounterReading,
+    CounterSample,
+    IngestError,
+    IngestParseError,
+)
+from repro.ingest.papi import (
+    PapiMatrix,
+    PapiRecord,
+    parse_papi_csv,
+    serialize_papi_csv,
+)
+from repro.ingest.perf import (
+    PERF_FORMATS,
+    detect_format,
+    parse_perf,
+    serialize_samples,
+)
+from repro.ingest.runner import INGEST_SEED, IngestOutcome, run_ingest
+
+__all__ = [
+    "AliasResolution",
+    "CounterReading",
+    "CounterSample",
+    "INGEST_DOMAINS",
+    "INGEST_SEED",
+    "IngestBundle",
+    "IngestError",
+    "IngestManifest",
+    "IngestOutcome",
+    "IngestParseError",
+    "KEY_EVENT_MAPPINGS",
+    "PERF_FORMATS",
+    "PapiMatrix",
+    "PapiRecord",
+    "QUALITIES",
+    "QUALITY_MULTIPLEXED",
+    "QUALITY_NOT_COUNTED",
+    "QUALITY_NOT_SUPPORTED",
+    "QUALITY_OK",
+    "assemble",
+    "detect_format",
+    "ingest_basis",
+    "load_manifest",
+    "normalize_event_name",
+    "parse_papi_csv",
+    "parse_perf",
+    "registry_for_family",
+    "resolve_events",
+    "resolve_uarch",
+    "run_ingest",
+    "serialize_papi_csv",
+    "serialize_samples",
+]

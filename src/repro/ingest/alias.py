@@ -1,0 +1,225 @@
+"""Per-microarchitecture event aliasing: collector names onto the registry.
+
+Collectors and registries never agree on names.  ``perf`` spells Intel
+events ``br_inst_retired.all_branches``, exposes generic software names
+like ``branch-misses``, and PAPI overlays its own preset vocabulary
+(``PAPI_BR_INS``) — while the :class:`~repro.events.registry.EventRegistry`
+speaks PAPI-native full names (``BR_INST_RETIRED:ALL_BRANCHES``).  This
+module owns the translation, ``KEY_EVENT_MAPPINGS``-style: one explicit
+table per microarchitecture family, consulted between an exact-name
+check and a mechanical normalization fallback.
+
+Resolution order, per collector name:
+
+1. **Exact** — the name is already a registry full name.
+2. **Alias table** — the family's explicit ``KEY_EVENT_MAPPINGS`` row
+   (generic perf names, PAPI presets, known vendor respellings).
+3. **Normalization** — uppercase with ``.`` → ``:`` (the mechanical
+   perf↔PAPI respelling: ``br_inst_retired.cond`` →
+   ``BR_INST_RETIRED:COND``), accepted only if the result is a
+   registry member.
+4. Otherwise the name is **unmapped**: reported explicitly and dropped,
+   never guessed at.
+
+Families: the Intel client/server line (``skylake``, ``icelake``,
+``sapphire``) resolves onto the Sapphire Rapids registry — the only
+Intel registry this reproduction carries; the shared generics make the
+older uarches ingestable against it, with per-uarch rows diverging only
+where the vendors renamed an event.  ``zen3`` resolves onto the Zen 3
+registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.events.catalogs import sapphire_rapids_events, zen3_events
+from repro.events.registry import EventRegistry
+from repro.ingest.model import IngestError
+
+__all__ = [
+    "KEY_EVENT_MAPPINGS",
+    "AliasResolution",
+    "normalize_event_name",
+    "registry_for_family",
+    "resolve_events",
+    "resolve_uarch",
+]
+
+#: Generic names every Intel family shares (perf software aliases and
+#: PAPI presets); per-family tables below extend/override these.
+_INTEL_COMMON: Dict[str, str] = {
+    "branches": "BR_INST_RETIRED:ALL_BRANCHES",
+    "branch-instructions": "BR_INST_RETIRED:ALL_BRANCHES",
+    "branch-misses": "BR_MISP_RETIRED",
+    "cycles": "CPU_CLK_UNHALTED:THREAD",
+    "cpu-cycles": "CPU_CLK_UNHALTED:THREAD",
+    "ref-cycles": "CPU_CLK_UNHALTED:REF_TSC",
+    "L1-dcache-load-misses": "MEM_LOAD_RETIRED:L1_MISS",
+    "L1-dcache-loads": "MEM_INST_RETIRED:ALL_LOADS",
+    "LLC-load-misses": "MEM_LOAD_RETIRED:L3_MISS",
+    "PAPI_BR_INS": "BR_INST_RETIRED:ALL_BRANCHES",
+    "PAPI_BR_MSP": "BR_MISP_RETIRED",
+    "PAPI_BR_CN": "BR_INST_RETIRED:COND",
+    "PAPI_BR_TKN": "BR_INST_RETIRED:COND_TAKEN",
+    "PAPI_BR_NTK": "BR_INST_RETIRED:COND_NTAKEN",
+    "PAPI_L1_DCM": "MEM_LOAD_RETIRED:L1_MISS",
+    "PAPI_L2_DCM": "MEM_LOAD_RETIRED:L2_MISS",
+}
+
+#: Explicit per-family alias tables (collector name -> registry name).
+KEY_EVENT_MAPPINGS: Dict[str, Dict[str, str]] = {
+    # Pre-SPR Intel spells the conditional-branch events br_inst_retired
+    # .conditional / .not_taken; SPR renamed them .cond / .cond_ntaken.
+    "skylake": {
+        **_INTEL_COMMON,
+        "br_inst_retired.conditional": "BR_INST_RETIRED:COND",
+        "br_inst_retired.not_taken": "BR_INST_RETIRED:COND_NTAKEN",
+        "br_misp_retired.conditional": "BR_MISP_RETIRED:COND",
+    },
+    "icelake": {
+        **_INTEL_COMMON,
+        "br_inst_retired.conditional": "BR_INST_RETIRED:COND",
+        "br_inst_retired.not_taken": "BR_INST_RETIRED:COND_NTAKEN",
+        "br_misp_retired.conditional": "BR_MISP_RETIRED:COND",
+    },
+    "sapphire": dict(_INTEL_COMMON),
+    "zen3": {
+        "branches": "EX_RET_BRN",
+        "branch-instructions": "EX_RET_BRN",
+        "branch-misses": "EX_RET_BRN_MISP",
+        "cycles": "LS_NOT_HALTED_CYC",
+        "cpu-cycles": "LS_NOT_HALTED_CYC",
+        "instructions": "EX_RET_INSTR",
+        "PAPI_BR_INS": "EX_RET_BRN",
+        "PAPI_BR_MSP": "EX_RET_BRN_MISP",
+        "PAPI_BR_CN": "EX_RET_COND",
+        "PAPI_BR_TKN": "EX_RET_BRN_TKN",
+        "PAPI_BR_UCN": "EX_RET_UNCOND_BRNCH_INSTR",
+        # perf's AMD naming keeps the vendor mnemonics but lowercases
+        # them; normalization handles the plain ones, these carry the
+        # respellings normalization cannot.
+        "ex_ret_brn_tkn_misp.all": "EX_RET_BRN_TKN_MISP",
+        "ex_ret_cond_misp.all": "EX_RET_COND_MISP",
+    },
+}
+
+#: Substring predicates mapping a reported uarch string onto a family
+#: (the pmu-tools detection idiom: match model names, not exact strings).
+_FAMILY_PATTERNS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("sapphire", ("sapphire", "spr", "emerald", "granite")),
+    ("icelake", ("icelake", "icl", "icx", "tigerlake", "rocketlake")),
+    ("skylake", ("skylake", "skl", "skx", "cascade", "cooper", "kaby", "coffee")),
+    ("zen3", ("zen3", "zen 3", "milan", "trento", "vermeer", "cezanne")),
+)
+
+#: Which event registry each family resolves onto.
+_FAMILY_REGISTRY = {
+    "sapphire": sapphire_rapids_events,
+    "icelake": sapphire_rapids_events,
+    "skylake": sapphire_rapids_events,
+    "zen3": zen3_events,
+}
+
+
+def resolve_uarch(uarch: str) -> str:
+    """The alias family of a reported microarchitecture string."""
+    lowered = uarch.strip().lower()
+    if not lowered:
+        raise IngestError("empty uarch name")
+    for family, patterns in _FAMILY_PATTERNS:
+        if any(pattern in lowered for pattern in patterns):
+            return family
+    raise IngestError(
+        f"unknown uarch {uarch!r}; known families: "
+        + ", ".join(sorted(KEY_EVENT_MAPPINGS))
+    )
+
+
+def registry_for_family(family: str) -> EventRegistry:
+    """The event registry a family's collector names resolve onto."""
+    try:
+        return _FAMILY_REGISTRY[family]()
+    except KeyError:
+        raise IngestError(
+            f"unknown uarch family {family!r}; known: "
+            + ", ".join(sorted(_FAMILY_REGISTRY))
+        ) from None
+
+
+def normalize_event_name(name: str) -> str:
+    """The mechanical perf -> PAPI-native respelling (step 3)."""
+    return name.upper().replace(".", ":")
+
+
+@dataclass(frozen=True)
+class AliasResolution:
+    """Outcome of resolving one collection's event names."""
+
+    uarch: str
+    family: str
+    registry: EventRegistry
+    #: collector name -> registry full name, in input order.
+    mapped: Dict[str, str]
+    #: Collector names nothing resolved, in input order (reported, dropped).
+    unmapped: Tuple[str, ...]
+
+    def registry_names(self) -> List[str]:
+        """The mapped registry names, in registry catalog order — the
+        deterministic column order ingestion assembles matrices in (QRCP
+        pivot tie-breaking relies on catalog order, so ingested and
+        simulated runs must agree on it)."""
+        targets = set(self.mapped.values())
+        return [n for n in self.registry.full_names if n in targets]
+
+    def collector_name(self, registry_name: str) -> str:
+        """The (first) collector spelling that resolved onto a registry
+        name — for reports that must speak the collector's language."""
+        for collector, target in self.mapped.items():
+            if target == registry_name:
+                return collector
+        raise KeyError(registry_name)
+
+
+def resolve_events(names: Iterable[str], uarch: str) -> AliasResolution:
+    """Resolve collector event names for ``uarch`` (see module docs).
+
+    Two collector spellings of the *same* registry event in one
+    collection (say ``branch-misses`` and ``br_misp_retired``) are an
+    error — merging them would silently average two readings of one
+    counter.
+    """
+    family = resolve_uarch(uarch)
+    registry = registry_for_family(family)
+    table = KEY_EVENT_MAPPINGS[family]
+    mapped: Dict[str, str] = {}
+    unmapped: List[str] = []
+    claimed: Dict[str, str] = {}
+    for name in names:
+        if name in mapped or name in unmapped:
+            raise IngestError(f"duplicate collector event {name!r}")
+        if name in registry:
+            target = name
+        elif name in table:
+            target = table[name]
+        else:
+            normalized = normalize_event_name(name)
+            target = normalized if normalized in registry else None
+        if target is None:
+            unmapped.append(name)
+            continue
+        if target in claimed:
+            raise IngestError(
+                f"collector events {claimed[target]!r} and {name!r} both "
+                f"resolve to registry event {target!r}"
+            )
+        claimed[target] = name
+        mapped[name] = target
+    return AliasResolution(
+        uarch=uarch,
+        family=family,
+        registry=registry,
+        mapped=mapped,
+        unmapped=tuple(unmapped),
+    )

@@ -1,0 +1,541 @@
+"""Assembly: parsed counter samples -> one bit-stable ``MeasurementSet``.
+
+The manifest is the unit of ingestion: one JSON file describing where a
+collection came from and how its files fit together::
+
+    {
+      "collector": "perf",
+      "uarch": "sapphire_rapids",
+      "domain": "branch",
+      "arch": "spr-ingest",                  // optional catalog arch name
+      "rows": {
+        "k01_alternating": [["g0/k01.csv"], ["g1/r0.csv", "g1/r1.csv"]],
+        ...
+      },
+      "baseline": ["baseline.txt"]           // optional calibration run
+    }
+
+    { "collector": "papi", "uarch": "zen3", "domain": "branch",
+      "matrix": "matrix.csv" }
+
+All paths are relative to the manifest's directory.  For the perf
+collector each kernel row lists its *event groups* — a PMU cannot read
+every event at once, so a real collection runs one ``perf stat`` per
+group per repetition.  Within a group the listed files' samples
+concatenate into the repetition sequence (one interval file with R
+intervals, or R single-shot files); groups then merge index-wise, so
+repetition *i* of the row is the union of every group's *i*-th sample.
+One event appearing in two groups of the same row is an error: two
+independent readings of one counter cannot be merged honestly.
+
+Assembly order is deterministic end to end: kernel rows follow the
+domain basis, event columns follow the registry catalog (the QRCP
+tie-break order), and every consumed file is digested into the bundle's
+provenance — two assemblies of the same files are bit-identical.
+
+Baseline calibration: the manifest's ``baseline`` files are parsed like
+any sample and averaged per event; the per-event baseline mean is
+subtracted from every matrix cell of that event, floored at zero (the
+``perf_analyzer`` subtraction idiom — remove the harness's fixed
+overhead, never go negative).  Typed zeros (``not_counted`` /
+``not_supported``) stay zero through calibration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cat.measurement import MeasurementSet
+from repro.core.basis import (
+    ExpectationBasis,
+    branch_basis,
+    cpu_flops_basis,
+    gpu_flops_basis,
+)
+from repro.ingest.alias import AliasResolution, resolve_events
+from repro.ingest.model import (
+    QUALITY_OK,
+    CounterSample,
+    IngestError,
+)
+from repro.ingest.papi import parse_papi_csv
+from repro.ingest.perf import parse_perf
+from repro.io.digest import file_digest
+
+__all__ = [
+    "INGEST_DOMAINS",
+    "IngestBundle",
+    "IngestManifest",
+    "assemble",
+    "ingest_basis",
+    "load_manifest",
+]
+
+#: Domains ingestable from external data: their expectation bases are
+#: fixed by the paper's kernel definitions, not by a simulated machine's
+#: cache geometry (which external hardware would not share anyway).
+INGEST_DOMAINS: Dict[str, object] = {
+    "branch": branch_basis,
+    "cpu_flops": cpu_flops_basis,
+    "gpu_flops": gpu_flops_basis,
+}
+
+
+def ingest_basis(domain: str) -> ExpectationBasis:
+    """The expectation basis external data for ``domain`` must cover."""
+    try:
+        factory = INGEST_DOMAINS[domain]
+    except KeyError:
+        raise IngestError(
+            f"domain {domain!r} is not ingestable from external data; "
+            f"supported: {', '.join(sorted(INGEST_DOMAINS))} (cache-family "
+            f"domains derive their kernel rows from the measured machine's "
+            f"geometry)"
+        ) from None
+    return factory()
+
+
+@dataclass
+class IngestManifest:
+    """One validated ingestion manifest."""
+
+    path: Path
+    collector: str
+    uarch: str
+    domain: str
+    arch: str
+    #: Perf collector: row label -> list of groups, each a list of
+    #: relative file paths.  Empty for the papi collector.
+    rows: Dict[str, List[List[str]]] = field(default_factory=dict)
+    baseline: List[str] = field(default_factory=list)
+    #: PAPI collector: the relative matrix path.  None for perf.
+    matrix: Optional[str] = None
+
+    @property
+    def directory(self) -> Path:
+        return self.path.parent
+
+    def resolve(self, relative: str) -> Path:
+        return self.directory / relative
+
+
+def load_manifest(path) -> IngestManifest:
+    """Load and validate an ingestion manifest (schema errors are
+    :class:`IngestError` — the CLI's exit-2 class)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise IngestError(f"{path}: cannot read manifest: {exc}") from None
+    except ValueError as exc:
+        raise IngestError(f"{path}: manifest is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise IngestError(f"{path}: manifest must be a JSON object")
+
+    def require(key: str) -> object:
+        if key not in payload:
+            raise IngestError(f"{path}: manifest is missing {key!r}")
+        return payload[key]
+
+    collector = require("collector")
+    if collector not in ("perf", "papi"):
+        raise IngestError(
+            f"{path}: unknown collector {collector!r}; expected perf or papi"
+        )
+    uarch = str(require("uarch"))
+    domain = str(require("domain"))
+    ingest_basis(domain)  # validate early, with the manifest named
+    arch = str(payload.get("arch") or f"{uarch}-ingest")
+
+    rows: Dict[str, List[List[str]]] = {}
+    baseline: List[str] = []
+    matrix: Optional[str] = None
+    if collector == "perf":
+        raw_rows = require("rows")
+        if not isinstance(raw_rows, dict) or not raw_rows:
+            raise IngestError(f"{path}: 'rows' must be a non-empty object")
+        for label, groups in raw_rows.items():
+            if not isinstance(groups, list) or not groups:
+                raise IngestError(
+                    f"{path}: row {label!r} must list at least one file"
+                )
+            if all(isinstance(g, str) for g in groups):
+                groups = [groups]  # flat list = a single event group
+            parsed_groups: List[List[str]] = []
+            for group in groups:
+                if (
+                    not isinstance(group, list)
+                    or not group
+                    or not all(isinstance(f, str) for f in group)
+                ):
+                    raise IngestError(
+                        f"{path}: row {label!r}: each group must be a "
+                        f"non-empty list of file paths"
+                    )
+                parsed_groups.append(list(group))
+            rows[str(label)] = parsed_groups
+        raw_baseline = payload.get("baseline", [])
+        if isinstance(raw_baseline, str):
+            raw_baseline = [raw_baseline]
+        if not isinstance(raw_baseline, list) or not all(
+            isinstance(f, str) for f in raw_baseline
+        ):
+            raise IngestError(f"{path}: 'baseline' must be a list of paths")
+        baseline = list(raw_baseline)
+    else:
+        matrix = str(require("matrix"))
+        if "rows" in payload:
+            raise IngestError(
+                f"{path}: the papi collector takes 'matrix', not 'rows'"
+            )
+        if payload.get("baseline"):
+            raise IngestError(
+                f"{path}: baseline calibration applies to the perf "
+                f"collector (CAT/PAPI harnesses calibrate at collection time)"
+            )
+    return IngestManifest(
+        path=path,
+        collector=collector,
+        uarch=uarch,
+        domain=domain,
+        arch=arch,
+        rows=rows,
+        baseline=baseline,
+        matrix=matrix,
+    )
+
+
+@dataclass
+class IngestBundle:
+    """Everything one assembled ingestion produced.
+
+    ``column_quality`` is keyed by *registry* event name and holds the
+    sorted tuple of non-``ok`` qualities seen anywhere in that column
+    (empty tuple = clean).  ``baseline`` is keyed by collector name and
+    holds the subtracted per-event mean.  ``sources`` maps every
+    consumed file (manifest-relative) to its full SHA-256 — the
+    provenance the catalog lineage records.
+    """
+
+    manifest: IngestManifest
+    measurement: MeasurementSet
+    resolution: AliasResolution
+    column_quality: Dict[str, Tuple[str, ...]]
+    baseline: Dict[str, float]
+    sources: Dict[str, str]
+
+    @property
+    def flagged_columns(self) -> Tuple[str, ...]:
+        """Registry names of columns carrying any quality flag, in
+        column order — the set that must never compose unflagged."""
+        return tuple(
+            name
+            for name in self.measurement.event_names
+            if self.column_quality.get(name)
+        )
+
+    def report(self) -> str:
+        """Human-readable assembly report (aliasing, quality, sources)."""
+        m = self.manifest
+        lines = [
+            f"ingest: {m.collector} collection for {m.domain!r} on "
+            f"{m.uarch} (family {self.resolution.family}, arch {m.arch})",
+            f"  matrix: {self.measurement.n_repetitions} repetition(s) x "
+            f"{self.measurement.n_rows} kernel row(s) x "
+            f"{self.measurement.n_events} event column(s)",
+            f"  sources: {len(self.sources)} file(s)",
+        ]
+        if self.baseline:
+            lines.append(
+                f"  baseline: subtracted from {len(self.baseline)} event(s)"
+            )
+        mapped = self.resolution.mapped
+        lines.append(f"  mapped events: {len(mapped)}")
+        for name in self.measurement.event_names:
+            collector = self.resolution.collector_name(name)
+            spelled = f" (as {collector!r})" if collector != name else ""
+            flags = self.column_quality.get(name, ())
+            flagged = f"  [{', '.join(flags)}]" if flags else ""
+            lines.append(f"    {name}{spelled}{flagged}")
+        if self.resolution.unmapped:
+            lines.append(
+                f"  unmapped events: {len(self.resolution.unmapped)} "
+                f"(dropped; not defined for family "
+                f"{self.resolution.family!r})"
+            )
+            for name in self.resolution.unmapped:
+                lines.append(f"    {name}")
+        else:
+            lines.append("  unmapped events: none")
+        return "\n".join(lines)
+
+    def provenance(self) -> dict:
+        """The deterministic ingestion-provenance payload recorded on
+        every catalog entry this bundle's analysis publishes."""
+        return {
+            "kind": "ingest",
+            "collector": self.manifest.collector,
+            "uarch": self.manifest.uarch,
+            "family": self.resolution.family,
+            "manifest": self.manifest.path.name,
+            "manifest_digest": file_digest(self.manifest.path),
+            "sources": dict(sorted(self.sources.items())),
+            "baseline": {
+                event: value for event, value in sorted(self.baseline.items())
+            },
+            "quality": {
+                event: list(flags)
+                for event, flags in sorted(self.column_quality.items())
+                if flags
+            },
+            "unmapped": list(self.resolution.unmapped),
+        }
+
+
+def _parse_file(manifest: IngestManifest, relative: str, sources: Dict[str, str]):
+    path = manifest.resolve(relative)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise IngestError(
+            f"{manifest.path}: cannot read {relative!r}: {exc}"
+        ) from None
+    sources[relative] = file_digest(path)
+    return text, str(path)
+
+
+def _perf_samples(
+    manifest: IngestManifest, files: Sequence[str], sources: Dict[str, str]
+) -> List[CounterSample]:
+    samples: List[CounterSample] = []
+    for relative in files:
+        text, source = _parse_file(manifest, relative, sources)
+        _, parsed = parse_perf(text, source=source)
+        samples.extend(parsed)
+    return samples
+
+
+def _merge_groups(
+    row: str, groups: Sequence[List[CounterSample]]
+) -> List[CounterSample]:
+    """Index-wise union of a row's event groups (see module docs)."""
+    counts = {len(g) for g in groups}
+    if len(counts) != 1:
+        raise IngestError(
+            f"row {row!r}: event groups disagree on repetition count: "
+            f"{sorted(len(g) for g in groups)}"
+        )
+    merged: List[CounterSample] = []
+    for i in range(counts.pop()):
+        union = CounterSample(source=f"{row}[{i}]", format="merged")
+        seen: Dict[str, str] = {}
+        for g_idx, group in enumerate(groups):
+            for reading in group[i].readings:
+                if reading.event in seen:
+                    raise IngestError(
+                        f"row {row!r} repetition {i}: event "
+                        f"{reading.event!r} appears in groups "
+                        f"{seen[reading.event]} and {g_idx} — two "
+                        f"independent readings of one counter cannot be "
+                        f"merged"
+                    )
+                seen[reading.event] = str(g_idx)
+                union.readings.append(reading)
+        merged.append(union)
+    return merged
+
+
+def _baseline_means(
+    manifest: IngestManifest, sources: Dict[str, str]
+) -> Dict[str, float]:
+    if not manifest.baseline:
+        return {}
+    samples = _perf_samples(manifest, manifest.baseline, sources)
+    totals: Dict[str, List[float]] = {}
+    for sample in samples:
+        for reading in sample.readings:
+            if reading.quality != QUALITY_OK:
+                continue  # a counter that never ran calibrates nothing
+            totals.setdefault(reading.event, []).append(reading.value)
+    return {
+        event: float(np.mean(values)) for event, values in totals.items()
+    }
+
+
+def _assemble_perf(manifest: IngestManifest) -> IngestBundle:
+    basis = ingest_basis(manifest.domain)
+    expected_rows = list(basis.row_labels)
+    missing = [r for r in expected_rows if r not in manifest.rows]
+    extra = [r for r in manifest.rows if r not in expected_rows]
+    if missing or extra:
+        detail = []
+        if missing:
+            detail.append(f"missing kernel rows: {', '.join(missing)}")
+        if extra:
+            detail.append(f"unknown kernel rows: {', '.join(extra)}")
+        raise IngestError(
+            f"{manifest.path}: rows do not cover the {manifest.domain!r} "
+            f"basis ({'; '.join(detail)})"
+        )
+
+    sources: Dict[str, str] = {}
+    per_row: Dict[str, List[CounterSample]] = {}
+    for row in expected_rows:
+        groups = [
+            _perf_samples(manifest, files, sources)
+            for files in manifest.rows[row]
+        ]
+        per_row[row] = _merge_groups(row, groups)
+
+    rep_counts = {row: len(samples) for row, samples in per_row.items()}
+    if len(set(rep_counts.values())) != 1:
+        raise IngestError(
+            f"{manifest.path}: kernel rows disagree on repetition count: "
+            + ", ".join(f"{r}={n}" for r, n in sorted(rep_counts.items()))
+        )
+    n_reps = next(iter(rep_counts.values()))
+    if n_reps < 2:
+        raise IngestError(
+            f"{manifest.path}: need at least 2 repetitions for the "
+            f"Section-IV noise filter; got {n_reps}"
+        )
+
+    # The collector event set must be one set, everywhere.
+    first = per_row[expected_rows[0]][0]
+    collector_events = list(first.event_names)
+    expected_set = set(collector_events)
+    for row in expected_rows:
+        for i, sample in enumerate(per_row[row]):
+            got = set(sample.event_names)
+            if got != expected_set:
+                diff = sorted(got.symmetric_difference(expected_set))
+                raise IngestError(
+                    f"{manifest.path}: row {row!r} repetition {i} measures "
+                    f"a different event set (differs on: {', '.join(diff)})"
+                )
+
+    baseline = _baseline_means(manifest, sources)
+    resolution = resolve_events(collector_events, manifest.uarch)
+    return _build_bundle(
+        manifest, basis, resolution, per_row, n_reps, baseline, sources
+    )
+
+
+def _assemble_papi(manifest: IngestManifest) -> IngestBundle:
+    basis = ingest_basis(manifest.domain)
+    sources: Dict[str, str] = {}
+    text, source = _parse_file(manifest, manifest.matrix, sources)
+    matrix = parse_papi_csv(text, source=source)
+
+    expected_rows = list(basis.row_labels)
+    got_rows = set(matrix.row_labels)
+    missing = [r for r in expected_rows if r not in got_rows]
+    extra = [r for r in matrix.row_labels if r not in expected_rows]
+    if missing or extra:
+        detail = []
+        if missing:
+            detail.append(f"missing kernel rows: {', '.join(missing)}")
+        if extra:
+            detail.append(f"unknown kernel rows: {', '.join(extra)}")
+        raise IngestError(
+            f"{manifest.path}: {manifest.matrix}: matrix rows do not cover "
+            f"the {manifest.domain!r} basis ({'; '.join(detail)})"
+        )
+
+    per_row: Dict[str, Dict[int, CounterSample]] = {r: {} for r in expected_rows}
+    for record in matrix.records:
+        per_row[record.row][record.repetition] = record.sample
+    rep_sets = {row: sorted(reps) for row, reps in per_row.items()}
+    expected_reps = rep_sets[expected_rows[0]]
+    for row, reps in rep_sets.items():
+        if reps != expected_reps:
+            raise IngestError(
+                f"{manifest.path}: {manifest.matrix}: row {row!r} has "
+                f"repetitions {reps}, expected {expected_reps}"
+            )
+    if expected_reps != list(range(len(expected_reps))):
+        raise IngestError(
+            f"{manifest.path}: {manifest.matrix}: repetition indices must "
+            f"be contiguous from 0; got {expected_reps}"
+        )
+    if len(expected_reps) < 2:
+        raise IngestError(
+            f"{manifest.path}: need at least 2 repetitions for the "
+            f"Section-IV noise filter; got {len(expected_reps)}"
+        )
+
+    ordered = {
+        row: [per_row[row][i] for i in expected_reps] for row in expected_rows
+    }
+    resolution = resolve_events(list(matrix.event_names), manifest.uarch)
+    return _build_bundle(
+        manifest, basis, resolution, ordered, len(expected_reps), {}, sources
+    )
+
+
+def _build_bundle(
+    manifest: IngestManifest,
+    basis: ExpectationBasis,
+    resolution: AliasResolution,
+    per_row: Dict[str, List[CounterSample]],
+    n_reps: int,
+    baseline: Dict[str, float],
+    sources: Dict[str, str],
+) -> IngestBundle:
+    registry_names = resolution.registry_names()
+    if not registry_names:
+        raise IngestError(
+            f"{manifest.path}: no collector event maps onto the "
+            f"{resolution.family!r} registry (unmapped: "
+            f"{', '.join(resolution.unmapped)})"
+        )
+    collector_for = {
+        target: source for source, target in resolution.mapped.items()
+    }
+    expected_rows = list(basis.row_labels)
+    data = np.zeros(
+        (n_reps, 1, len(expected_rows), len(registry_names)), dtype=np.float64
+    )
+    quality: Dict[str, set] = {name: set() for name in registry_names}
+    subtracted: Dict[str, float] = {}
+    for r_idx, row in enumerate(expected_rows):
+        for rep_idx, sample in enumerate(per_row[row]):
+            readings = {rd.event: rd for rd in sample.readings}
+            for e_idx, name in enumerate(registry_names):
+                reading = readings[collector_for[name]]
+                value = reading.value
+                offset = baseline.get(reading.event)
+                if offset is not None:
+                    value = max(0.0, value - offset)
+                    subtracted[reading.event] = offset
+                data[rep_idx, 0, r_idx, e_idx] = value
+                if reading.quality != QUALITY_OK:
+                    quality[name].add(reading.quality)
+    measurement = MeasurementSet(
+        benchmark=f"ingest:{manifest.domain}",
+        row_labels=expected_rows,
+        event_names=registry_names,
+        data=data,
+    )
+    return IngestBundle(
+        manifest=manifest,
+        measurement=measurement,
+        resolution=resolution,
+        column_quality={
+            name: tuple(sorted(flags)) for name, flags in quality.items()
+        },
+        baseline=subtracted,
+        sources=sources,
+    )
+
+
+def assemble(manifest: IngestManifest) -> IngestBundle:
+    """Assemble a manifest's files into one bit-stable bundle."""
+    if manifest.collector == "perf":
+        return _assemble_perf(manifest)
+    return _assemble_papi(manifest)

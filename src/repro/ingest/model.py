@@ -1,0 +1,132 @@
+"""Typed model of externally collected counter data.
+
+Everything the ingestion layer hands downstream is built from two small
+types: a :class:`CounterReading` (one event's value in one collection,
+with its quality) and a :class:`CounterSample` (one complete collection —
+one ``perf stat`` run, or one ``-I`` interval).  The quality vocabulary
+is deliberately tiny and closed:
+
+* ``ok`` — the counter ran for the whole measurement.
+* ``multiplexed`` — the PMU time-sliced the counter and the collector
+  *already scaled* the value to the full run (perf prints the enabled
+  percentage it scaled by).  Ingestion keeps the value exactly as
+  reported and surfaces the flag — it never rescales, because a scaled
+  estimate silently entering a composed metric is precisely the failure
+  mode Röhl et al. document.
+* ``not_counted`` — the counter never ran (``<not counted>``); the value
+  is a typed zero, not a measurement.
+* ``not_supported`` — the event does not exist on this machine
+  (``<not supported>``); likewise a typed zero.
+
+Parse failures raise :class:`IngestParseError`, which names the file,
+the 1-based line, and the 1-based character column of the offending
+token — the CLI maps it to exit status 2 (usage/validation), the same
+status as a bad flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "CounterReading",
+    "CounterSample",
+    "IngestError",
+    "IngestParseError",
+    "QUALITIES",
+    "QUALITY_MULTIPLEXED",
+    "QUALITY_NOT_COUNTED",
+    "QUALITY_NOT_SUPPORTED",
+    "QUALITY_OK",
+]
+
+QUALITY_OK = "ok"
+QUALITY_MULTIPLEXED = "multiplexed"
+QUALITY_NOT_COUNTED = "not_counted"
+QUALITY_NOT_SUPPORTED = "not_supported"
+
+#: The closed quality vocabulary, in severity order.
+QUALITIES = (
+    QUALITY_OK,
+    QUALITY_MULTIPLEXED,
+    QUALITY_NOT_COUNTED,
+    QUALITY_NOT_SUPPORTED,
+)
+
+
+class IngestError(ValueError):
+    """Malformed or inconsistent ingestion input (CLI exit status 2)."""
+
+
+class IngestParseError(IngestError):
+    """A parse failure that can name its exact source location."""
+
+    def __init__(
+        self,
+        reason: str,
+        source: str = "<string>",
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+    ):
+        self.reason = reason
+        self.source = source
+        self.line = line
+        self.column = column
+        where = source
+        if line is not None:
+            where += f":{line}"
+            if column is not None:
+                where += f":{column}"
+        super().__init__(f"{where}: {reason}")
+
+
+@dataclass(frozen=True)
+class CounterReading:
+    """One event's reading in one collection.
+
+    ``value`` is exactly what the collector reported (for a multiplexed
+    counter that is perf's *scaled* estimate); ``scale_pct`` is the
+    multiplex enabled-percentage when the collector printed one (100.0
+    for an un-multiplexed counter, ``None`` when the format carries no
+    percentage).  ``<not counted>`` / ``<not supported>`` readings carry
+    value 0.0 with the matching quality.
+    """
+
+    event: str
+    value: float
+    quality: str = QUALITY_OK
+    scale_pct: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.quality not in QUALITIES:
+            raise ValueError(
+                f"unknown reading quality {self.quality!r}; "
+                f"expected one of {', '.join(QUALITIES)}"
+            )
+
+
+@dataclass
+class CounterSample:
+    """One complete collection: every event read together, once.
+
+    A plain ``perf stat`` run (human or ``-x,`` CSV) is one sample; an
+    interval-mode (``-I``) run is one sample per distinct interval
+    timestamp; a PAPI CSV matrix row is one sample of one kernel row.
+    """
+
+    source: str
+    format: str
+    readings: List[CounterReading] = field(default_factory=list)
+    #: Interval timestamp in seconds for ``-I`` samples, else None.
+    interval: Optional[float] = None
+
+    @property
+    def event_names(self) -> Tuple[str, ...]:
+        return tuple(r.event for r in self.readings)
+
+    def reading(self, event: str) -> CounterReading:
+        for r in self.readings:
+            if r.event == event:
+                return r
+        raise KeyError(f"event {event!r} not in sample from {self.source}")

@@ -1,0 +1,174 @@
+"""Parser and canonical serializer for PAPI/CAT CSV matrices.
+
+A PAPI collection is one CSV file holding the *whole* measurement: a
+header row naming the kernel-row and repetition columns followed by one
+event name per remaining column, then one line per (kernel row,
+repetition) with that collection's readings::
+
+    row,repetition,PAPI_BR_INS,EX_RET_BRN_TKN,...
+    k01_alternating,0,2.0,1.5,...
+    k01_alternating,1,2.0,1.5,...
+
+Cells are plain floats; ``<not counted>`` / ``<not supported>`` are
+accepted in a cell and become typed zero readings, exactly as in the
+perf formats.  (PAPI has no multiplex percentage column — the CAT
+harness pins one event group per run — so PAPI readings are never
+``multiplexed``.)
+
+The canonical serializer renders values via ``repr`` and is a fixpoint
+of ``serialize ∘ parse`` (property-tested alongside the perf formats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.ingest.model import (
+    QUALITY_NOT_COUNTED,
+    QUALITY_NOT_SUPPORTED,
+    QUALITY_OK,
+    CounterReading,
+    CounterSample,
+    IngestParseError,
+)
+
+__all__ = ["PapiMatrix", "PapiRecord", "parse_papi_csv", "serialize_papi_csv"]
+
+_NOT_COUNTED = "<not counted>"
+_NOT_SUPPORTED = "<not supported>"
+
+
+@dataclass
+class PapiRecord:
+    """One (kernel row, repetition) collection of a PAPI matrix."""
+
+    row: str
+    repetition: int
+    sample: CounterSample
+
+
+@dataclass
+class PapiMatrix:
+    """A parsed PAPI CSV file: column order and all records."""
+
+    source: str
+    event_names: Tuple[str, ...]
+    records: List[PapiRecord]
+
+    @property
+    def row_labels(self) -> Tuple[str, ...]:
+        """Kernel rows in first-seen file order."""
+        seen: List[str] = []
+        for record in self.records:
+            if record.row not in seen:
+                seen.append(record.row)
+        return tuple(seen)
+
+
+def _field_column(fields: Sequence[str], index: int) -> int:
+    return sum(len(f) + 1 for f in fields[:index]) + 1
+
+
+def parse_papi_csv(text: str, source: str = "<string>") -> PapiMatrix:
+    """Parse one PAPI/CAT CSV matrix file."""
+    lines = [
+        (no, line)
+        for no, line in enumerate(text.splitlines(), start=1)
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    if not lines:
+        raise IngestParseError("empty PAPI CSV", source)
+    header_no, header = lines[0]
+    head_fields = header.split(",")
+    if len(head_fields) < 3 or [f.strip() for f in head_fields[:2]] != [
+        "row",
+        "repetition",
+    ]:
+        raise IngestParseError(
+            "PAPI CSV header must start 'row,repetition,<event>,...'",
+            source,
+            header_no,
+            1,
+        )
+    events = tuple(f.strip() for f in head_fields[2:])
+    for i, event in enumerate(events):
+        if not event:
+            raise IngestParseError(
+                "empty event name in PAPI CSV header",
+                source,
+                header_no,
+                _field_column(head_fields, i + 2),
+            )
+
+    records: List[PapiRecord] = []
+    seen_keys = set()
+    for line_no, line in lines[1:]:
+        fields = line.split(",")
+        if len(fields) != len(head_fields):
+            raise IngestParseError(
+                f"expected {len(head_fields)} fields (per the header), "
+                f"got {len(fields)}",
+                source,
+                line_no,
+                len(line) + 1,
+            )
+        row = fields[0].strip()
+        try:
+            repetition = int(fields[1])
+        except ValueError:
+            raise IngestParseError(
+                f"unreadable repetition index {fields[1]!r}",
+                source,
+                line_no,
+                _field_column(fields, 1),
+            ) from None
+        key = (row, repetition)
+        if key in seen_keys:
+            raise IngestParseError(
+                f"duplicate (row, repetition) = {key!r}",
+                source,
+                line_no,
+                1,
+            )
+        seen_keys.add(key)
+        sample = CounterSample(source=source, format="papi-csv")
+        for i, (event, cell) in enumerate(zip(events, fields[2:])):
+            cell = cell.strip()
+            if cell == _NOT_COUNTED:
+                value, quality = 0.0, QUALITY_NOT_COUNTED
+            elif cell == _NOT_SUPPORTED:
+                value, quality = 0.0, QUALITY_NOT_SUPPORTED
+            else:
+                try:
+                    value, quality = float(cell), QUALITY_OK
+                except ValueError:
+                    raise IngestParseError(
+                        f"unreadable counter value {cell!r} for {event}",
+                        source,
+                        line_no,
+                        _field_column(fields, i + 2),
+                    ) from None
+            sample.readings.append(
+                CounterReading(event=event, value=value, quality=quality)
+            )
+        records.append(PapiRecord(row=row, repetition=repetition, sample=sample))
+    if not records:
+        raise IngestParseError("PAPI CSV has a header but no data rows", source)
+    return PapiMatrix(source=source, event_names=events, records=records)
+
+
+def serialize_papi_csv(matrix: PapiMatrix) -> str:
+    """Canonical text of a PAPI matrix (``repr`` floats, header first)."""
+    lines = ["row,repetition," + ",".join(matrix.event_names)]
+    for record in matrix.records:
+        cells = []
+        for reading in record.sample.readings:
+            if reading.quality == QUALITY_NOT_COUNTED:
+                cells.append(_NOT_COUNTED)
+            elif reading.quality == QUALITY_NOT_SUPPORTED:
+                cells.append(_NOT_SUPPORTED)
+            else:
+                cells.append(repr(reading.value))
+        lines.append(f"{record.row},{record.repetition}," + ",".join(cells))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,371 @@
+"""Parsers and canonical serializers for ``perf stat`` text output.
+
+Three wire formats, matching how ``perf stat`` is actually run:
+
+* **perf-human** — the default human-readable table: a value (possibly
+  comma-grouped), the event name, optionally a trailing multiplex
+  percentage ``(NN.NN%)``, with ``<not counted>`` / ``<not supported>``
+  in the value position for counters that never ran.
+* **perf-csv** — ``perf stat -x,``: ``value,unit,event,run-time,pct``
+  per line, one line per event.
+* **perf-interval** — ``perf stat -I <ms> -x,``: the CSV fields with a
+  leading interval timestamp; every distinct timestamp is one complete
+  :class:`~repro.ingest.model.CounterSample` (ingestion treats the
+  interval sequence as the repetition sequence).
+
+Each format has a *canonical* serializer.  Canonical text is a fixpoint
+of ``serialize ∘ parse`` (property-tested): values render via ``repr``
+(shortest round-trip, so re-parsing is bit-exact), percentages with two
+decimals, and the field layout is exactly what the parser consumes.
+Parsing never guesses: anything off-grammar raises
+:class:`~repro.ingest.model.IngestParseError` naming the file, line,
+and column.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ingest.model import (
+    QUALITY_MULTIPLEXED,
+    QUALITY_NOT_COUNTED,
+    QUALITY_NOT_SUPPORTED,
+    QUALITY_OK,
+    CounterReading,
+    CounterSample,
+    IngestParseError,
+)
+
+__all__ = [
+    "PERF_FORMATS",
+    "detect_format",
+    "parse_perf",
+    "serialize_samples",
+]
+
+PERF_FORMATS = ("perf-human", "perf-csv", "perf-interval")
+
+_NOT_COUNTED = "<not counted>"
+_NOT_SUPPORTED = "<not supported>"
+
+#: Human-format reading line: value (or a <not ...> marker), event name,
+#: optional "# ..." comment, optional trailing "(NN.NN%)" multiplex note.
+_HUMAN_LINE = re.compile(
+    r"^\s*(?P<value><not counted>|<not supported>|[0-9][0-9,]*(?:\.[0-9]+)?"
+    r"(?:[eE][+-]?[0-9]+)?)\s+"
+    r"(?P<event>[A-Za-z_][\w.:/=-]*)"
+    r"(?:\s+#[^(]*)?"
+    r"(?:\s+\(\s*(?P<pct>[0-9]+(?:\.[0-9]+)?)%\s*\))?\s*$"
+)
+
+_EVENT_NAME = re.compile(r"^[A-Za-z_][\w.:/=-]*$")
+
+
+def _parse_value(
+    token: str, source: str, line_no: int, column: int
+) -> Tuple[float, str]:
+    """(value, quality) of a value token; raises on anything else."""
+    if token == _NOT_COUNTED:
+        return 0.0, QUALITY_NOT_COUNTED
+    if token == _NOT_SUPPORTED:
+        return 0.0, QUALITY_NOT_SUPPORTED
+    try:
+        return float(token.replace(",", "")), QUALITY_OK
+    except ValueError:
+        raise IngestParseError(
+            f"unreadable counter value {token!r}", source, line_no, column
+        ) from None
+
+
+def _quality_for(quality: str, pct: Optional[float]) -> str:
+    if quality == QUALITY_OK and pct is not None and pct < 100.0:
+        return QUALITY_MULTIPLEXED
+    return quality
+
+
+def _field_column(line: str, fields: Sequence[str], index: int) -> int:
+    """1-based character column where CSV field ``index`` starts."""
+    return sum(len(f) + 1 for f in fields[:index]) + 1
+
+
+# -- perf-human ---------------------------------------------------------
+def _parse_human(text: str, source: str) -> List[CounterSample]:
+    sample = CounterSample(source=source, format="perf-human")
+    saw_stats_header = False
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("Performance counter stats"):
+            saw_stats_header = True
+            continue
+        if "seconds time elapsed" in stripped or stripped.startswith(
+            ("seconds user", "seconds sys")
+        ):
+            continue
+        match = _HUMAN_LINE.match(line)
+        if match is None:
+            column = len(line) - len(line.lstrip()) + 1
+            raise IngestParseError(
+                f"unrecognized perf stat line {stripped!r}",
+                source,
+                line_no,
+                column,
+            )
+        token = match.group("value")
+        value, quality = _parse_value(
+            token, source, line_no, match.start("value") + 1
+        )
+        pct = float(match.group("pct")) if match.group("pct") else None
+        sample.readings.append(
+            CounterReading(
+                event=match.group("event"),
+                value=value,
+                quality=_quality_for(quality, pct),
+                scale_pct=pct,
+            )
+        )
+    if not sample.readings:
+        raise IngestParseError(
+            "no counter readings found"
+            + ("" if saw_stats_header else " (and no perf stat header)"),
+            source,
+        )
+    return [sample]
+
+
+def _serialize_human(samples: Sequence[CounterSample]) -> str:
+    if len(samples) != 1:
+        raise ValueError(
+            f"perf-human holds exactly one sample; got {len(samples)}"
+        )
+    lines = [" Performance counter stats for 'ingest':", ""]
+    for reading in samples[0].readings:
+        if reading.quality == QUALITY_NOT_COUNTED:
+            value = _NOT_COUNTED
+        elif reading.quality == QUALITY_NOT_SUPPORTED:
+            value = _NOT_SUPPORTED
+        else:
+            value = repr(reading.value)
+        line = f"{value:>20}      {reading.event}"
+        if reading.scale_pct is not None:
+            line += f"    ({reading.scale_pct:.2f}%)"
+        lines.append(line)
+    lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+# -- perf-csv and perf-interval -----------------------------------------
+def _parse_csv_fields(
+    line: str,
+    fields: Sequence[str],
+    source: str,
+    line_no: int,
+    offset: int,
+) -> CounterReading:
+    """One reading from the ``value,unit,event,run-time,pct`` tail of a
+    CSV line (``offset`` = index of the value field)."""
+    if len(fields) < offset + 3:
+        raise IngestParseError(
+            f"expected at least {offset + 3} comma-separated fields, "
+            f"got {len(fields)}",
+            source,
+            line_no,
+            len(line) + 1,
+        )
+    value, quality = _parse_value(
+        fields[offset], source, line_no, _field_column(line, fields, offset)
+    )
+    event = fields[offset + 2]
+    if not _EVENT_NAME.match(event):
+        raise IngestParseError(
+            f"unreadable event name {event!r}",
+            source,
+            line_no,
+            _field_column(line, fields, offset + 2),
+        )
+    pct: Optional[float] = None
+    if len(fields) > offset + 4 and fields[offset + 4]:
+        token = fields[offset + 4]
+        try:
+            pct = float(token)
+        except ValueError:
+            raise IngestParseError(
+                f"unreadable running percentage {token!r}",
+                source,
+                line_no,
+                _field_column(line, fields, offset + 4),
+            ) from None
+    return CounterReading(
+        event=event,
+        value=value,
+        quality=_quality_for(quality, pct),
+        scale_pct=pct,
+    )
+
+
+def _parse_csv(text: str, source: str) -> List[CounterSample]:
+    sample = CounterSample(source=source, format="perf-csv")
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        fields = line.split(",")
+        sample.readings.append(
+            _parse_csv_fields(line, fields, source, line_no, offset=0)
+        )
+    if not sample.readings:
+        raise IngestParseError("no counter readings found", source)
+    return [sample]
+
+
+def _parse_interval(text: str, source: str) -> List[CounterSample]:
+    samples: List[CounterSample] = []
+    current: Optional[CounterSample] = None
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        fields = line.split(",")
+        token = fields[0].strip()
+        try:
+            interval = float(token)
+        except ValueError:
+            raise IngestParseError(
+                f"unreadable interval timestamp {token!r}",
+                source,
+                line_no,
+                1,
+            ) from None
+        reading = _parse_csv_fields(line, fields, source, line_no, offset=1)
+        if current is None or current.interval != interval:
+            if current is not None and interval <= current.interval:
+                raise IngestParseError(
+                    f"interval timestamps must increase; "
+                    f"{interval!r} after {current.interval!r}",
+                    source,
+                    line_no,
+                    1,
+                )
+            current = CounterSample(
+                source=source, format="perf-interval", interval=interval
+            )
+            samples.append(current)
+        current.readings.append(reading)
+    if not samples:
+        raise IngestParseError("no counter readings found", source)
+    return samples
+
+
+def _serialize_csv_tail(reading: CounterReading) -> str:
+    if reading.quality == QUALITY_NOT_COUNTED:
+        value = _NOT_COUNTED
+    elif reading.quality == QUALITY_NOT_SUPPORTED:
+        value = _NOT_SUPPORTED
+    else:
+        value = repr(reading.value)
+    pct = "" if reading.scale_pct is None else f"{reading.scale_pct:.2f}"
+    return f"{value},,{reading.event},0,{pct}"
+
+
+def _serialize_csv(samples: Sequence[CounterSample]) -> str:
+    if len(samples) != 1:
+        raise ValueError(f"perf-csv holds exactly one sample; got {len(samples)}")
+    return (
+        "\n".join(_serialize_csv_tail(r) for r in samples[0].readings) + "\n"
+    )
+
+
+def _serialize_interval(samples: Sequence[CounterSample]) -> str:
+    lines = []
+    for sample in samples:
+        if sample.interval is None:
+            raise ValueError("perf-interval samples need interval timestamps")
+        for reading in sample.readings:
+            lines.append(f"{sample.interval!r},{_serialize_csv_tail(reading)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- front door ---------------------------------------------------------
+def detect_format(text: str, source: str = "<string>") -> str:
+    """Sniff which perf format ``text`` is in.
+
+    Human output is recognizable by its stats banner or by value/event
+    lines without commas as field separators.  For CSV-shaped lines the
+    discriminator is the first field: an interval line leads with a
+    timestamp *followed by* a value field, a plain ``-x,`` line leads
+    with the value itself (its second field is the unit, never numeric).
+    """
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("Performance counter stats"):
+            return "perf-human"
+        fields = line.split(",")
+        if len(fields) >= 6:
+            first, second = fields[0].strip(), fields[1].strip()
+            try:
+                float(first)
+                first_numeric = True
+            except ValueError:
+                first_numeric = False
+            if first_numeric and (
+                second in (_NOT_COUNTED, _NOT_SUPPORTED)
+                or _is_float(second)
+            ):
+                return "perf-interval"
+        if len(fields) >= 5:
+            first = fields[0].strip()
+            if first in (_NOT_COUNTED, _NOT_SUPPORTED) or _is_float(first):
+                return "perf-csv"
+        if _HUMAN_LINE.match(line):
+            return "perf-human"
+        raise IngestParseError(
+            f"unrecognized perf stat output (first data line {stripped!r})",
+            source,
+            line=1,
+        )
+    raise IngestParseError("empty perf stat output", source)
+
+
+def _is_float(token: str) -> bool:
+    try:
+        float(token)
+        return True
+    except ValueError:
+        return False
+
+
+def parse_perf(
+    text: str, source: str = "<string>", format: str = "auto"
+) -> Tuple[str, List[CounterSample]]:
+    """Parse perf stat output; returns ``(format, samples)``.
+
+    ``format`` may name one of :data:`PERF_FORMATS` to skip detection.
+    """
+    if format == "auto":
+        format = detect_format(text, source)
+    if format == "perf-human":
+        return format, _parse_human(text, source)
+    if format == "perf-csv":
+        return format, _parse_csv(text, source)
+    if format == "perf-interval":
+        return format, _parse_interval(text, source)
+    raise ValueError(
+        f"unknown perf format {format!r}; expected one of "
+        f"{', '.join(PERF_FORMATS)} or 'auto'"
+    )
+
+
+def serialize_samples(format: str, samples: Sequence[CounterSample]) -> str:
+    """Canonical text for ``samples`` in ``format`` (see module docs)."""
+    if format == "perf-human":
+        return _serialize_human(samples)
+    if format == "perf-csv":
+        return _serialize_csv(samples)
+    if format == "perf-interval":
+        return _serialize_interval(samples)
+    raise ValueError(
+        f"unknown perf format {format!r}; expected one of "
+        f"{', '.join(PERF_FORMATS)}"
+    )

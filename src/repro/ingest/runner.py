@@ -1,0 +1,202 @@
+"""Run ingested measurements through the *identical* analysis path.
+
+The whole point of the ingestion backend is that externally collected
+data gets no private pipeline: an assembled
+:class:`~repro.ingest.assemble.IngestBundle` is injected into
+:meth:`AnalysisPipeline.run(measurement=...)
+<repro.core.pipeline.AnalysisPipeline.run>` — the same noise-filter →
+QRCP → compose stages, the same guard sentinels (``require_finite``
+boundary-checks every injected matrix), the same certification and vet
+seams — and its results publish into the same catalog.  Two things are
+ingest-specific and both happen *outside* the stages:
+
+* **Degraded-flag accountability.**  Any matrix column carrying a
+  quality flag (``multiplexed`` / ``not_counted`` / ``not_supported``)
+  that survives selection and composes with a nonzero coefficient
+  forces ``degraded=True`` on the metric definition — a metric leaning
+  on a scaled estimate or a typed zero must say so.  The flag is
+  applied after composition, exactly like the fault layer's degraded
+  stamp, so the numerics are untouched.
+
+* **Provenance.**  Every published catalog entry carries the bundle's
+  ingestion provenance (collector, uarch family, per-source-file
+  digests, baseline calibration, quality flags, unmapped events) on its
+  lineage, and the provenance payload is deterministic — re-ingesting
+  bit-identical files produces a bit-identical entry, which the
+  catalog's content-digest dedup collapses into the existing version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.pipeline import (
+    DOMAIN_CONFIGS,
+    AnalysisPipeline,
+    PipelineConfig,
+    PipelineResult,
+)
+from repro.core.signatures import signatures_for
+from repro.hardware.cpu import CPUConfig, SimulatedCPU
+from repro.hardware.pmu import PMU
+from repro.hardware.systems import MachineNode
+from repro.ingest.assemble import IngestBundle, ingest_basis
+from repro.serve.catalog import CatalogEntry, MetricCatalogStore, entries_from_result
+
+__all__ = ["INGEST_SEED", "IngestOutcome", "run_ingest"]
+
+#: Ingested data carries no simulator seed; the catalog key still needs
+#: one coordinate, so every ingested analysis keys under seed 0.
+INGEST_SEED = 0
+
+
+class _IngestedBenchmark:
+    """Shim satisfying the pipeline's benchmark protocol for injected
+    measurements: it names the run and pins the kernel-row order.  Its
+    generator methods are never called — the measurement already exists."""
+
+    def __init__(self, domain: str, rows: Tuple[str, ...]):
+        self.name = f"ingest:{domain}"
+        self._rows = list(rows)
+
+    def row_labels(self) -> List[str]:
+        return list(self._rows)
+
+
+def _ingest_node(bundle: IngestBundle) -> MachineNode:
+    """A stub node for an injected run: carries the catalog architecture
+    name and the family registry; its machine is never measured."""
+    return MachineNode(
+        name=bundle.manifest.arch,
+        machine=SimulatedCPU(CPUConfig()),
+        events=bundle.resolution.registry,
+        pmu=PMU(programmable_counters=8, fixed_counters=3),
+        seed=INGEST_SEED,
+    )
+
+
+def _flag_degraded(
+    result: PipelineResult, flagged: Tuple[str, ...]
+) -> List[str]:
+    """Force ``degraded=True`` on every composed metric that depends on a
+    flagged column; returns the metric names.
+
+    Dependence is judged on the Section VI-D *snapped* coefficients (the
+    terms presets and catalog consumers actually read): raw least-squares
+    vectors carry ~1e-16 dust on every selected column, which would taint
+    everything indiscriminately; the snapping stage exists precisely to
+    zero that dust.  A metric without a rounded form falls back to its
+    raw coefficients.
+    """
+    flagged_set = set(flagged)
+    if not flagged_set:
+        return []
+    touched: List[str] = []
+    for name, definition in list(result.metrics.items()):
+        judged = result.rounded_metrics.get(name, definition)
+        tainted = any(
+            coeff != 0.0 and event in flagged_set
+            for event, coeff in zip(judged.event_names, judged.coefficients)
+        )
+        if not tainted:
+            continue
+        touched.append(name)
+        if not definition.degraded:
+            result.metrics[name] = replace(definition, degraded=True)
+        rounded = result.rounded_metrics.get(name)
+        if rounded is not None and not rounded.degraded:
+            result.rounded_metrics[name] = replace(rounded, degraded=True)
+    return touched
+
+
+@dataclass
+class IngestOutcome:
+    """Everything one ingested analysis produced."""
+
+    bundle: IngestBundle
+    result: PipelineResult
+    #: Metrics forced degraded because they compose a flagged column.
+    degraded_metrics: List[str] = field(default_factory=list)
+    #: Catalog entries as published (with assigned versions); empty when
+    #: no store was given.
+    published: List[CatalogEntry] = field(default_factory=list)
+    #: How many publications deduped onto an existing version.
+    deduped: int = 0
+
+    def summary(self) -> str:
+        lines = [self.bundle.report(), "", self.result.summary()]
+        if self.degraded_metrics:
+            lines.append(
+                f"degraded (composes a quality-flagged column): "
+                f"{', '.join(self.degraded_metrics)}"
+            )
+        if self.published:
+            fresh = len(self.published) - self.deduped
+            lines.append(
+                f"catalog: {len(self.published)} entr"
+                f"{'y' if len(self.published) == 1 else 'ies'} published "
+                f"({fresh} new, {self.deduped} deduped) as "
+                f"{self.published[0].arch}@seed{self.published[0].seed}"
+            )
+        return "\n".join(lines)
+
+
+def run_ingest(
+    bundle: IngestBundle,
+    config: Optional[PipelineConfig] = None,
+    store: Optional[MetricCatalogStore] = None,
+) -> IngestOutcome:
+    """Analyze an assembled bundle through the standard pipeline.
+
+    ``config`` defaults to the domain's paper thresholds with
+    ``repetitions`` overridden to the bundle's actual repetition count.
+    With ``store``, every composed metric publishes as a catalog entry
+    carrying the bundle's ingestion provenance.
+    """
+    manifest = bundle.manifest
+    basis = ingest_basis(manifest.domain)
+    reps = bundle.measurement.n_repetitions
+    if config is None:
+        config = replace(DOMAIN_CONFIGS[manifest.domain], repetitions=reps)
+    elif config.repetitions != reps:
+        config = replace(config, repetitions=reps)
+    pipeline = AnalysisPipeline(
+        node=_ingest_node(bundle),
+        benchmark=_IngestedBenchmark(
+            manifest.domain, tuple(basis.row_labels)
+        ),
+        basis=basis,
+        signatures=signatures_for(manifest.domain),
+        config=config,
+        events=bundle.resolution.registry,
+    )
+    result = pipeline.run(measurement=bundle.measurement)
+    degraded_metrics = _flag_degraded(result, bundle.flagged_columns)
+    outcome = IngestOutcome(
+        bundle=bundle, result=result, degraded_metrics=degraded_metrics
+    )
+    if store is not None:
+        registry = bundle.resolution.registry
+        all_digests = registry.event_digests()
+        measured: Dict[str, str] = {
+            name: all_digests[name]
+            for name in bundle.measurement.event_names
+        }
+        entries = entries_from_result(
+            result,
+            arch=manifest.arch,
+            seed=INGEST_SEED,
+            events_digest=registry.content_digest(),
+            event_digests=measured,
+            provenance=bundle.provenance(),
+        )
+        for entry in entries:
+            # put() is idempotent on content: it hands back the existing
+            # latest version when this publication would duplicate it.
+            before = store.get(entry.arch, entry.metric, entry.config_digest)
+            stored = store.put(entry)
+            if before is not None and stored.version == before.version:
+                outcome.deduped += 1
+            outcome.published.append(stored)
+    return outcome

@@ -140,6 +140,13 @@ class CatalogEntry:
     #: analysis-relevant change and must version the entry, which is what
     #: the drift detector watches for.
     vet: Optional[dict] = None
+    #: Ingestion provenance (the ``repro.ingest`` payload: collector,
+    #: uarch family, per-source-file digests, baseline calibration,
+    #: column quality flags, unmapped events).  None for simulated runs.
+    #: Part of the content digest when present — a re-ingest from
+    #: different source bytes is a different definition even if the
+    #: numbers agree, while a bit-identical re-ingest must dedup.
+    provenance: Optional[dict] = None
     #: sha256 of the run's canonical trace JSONL (None for untraced runs).
     trace_digest: Optional[str] = None
     #: Assigned by the store on ``put`` (0 = not yet stored).
@@ -172,6 +179,10 @@ class CatalogEntry:
             # Same back-compat rule for the validation stamp: entries from
             # prior-free runs hash exactly as they did before the field.
             payload.pop("vet", None)
+        if not payload.get("provenance"):
+            # And for ingestion provenance: simulated-run entries hash
+            # exactly as they did before ingestion existed.
+            payload.pop("provenance", None)
         return json_digest(payload, length=16)
 
     def definition(self) -> "MetricDefinition":
@@ -237,6 +248,7 @@ class CatalogEntry:
             "rounded_terms": dict(self.rounded_terms),
             "event_digests": dict(self.event_digests),
             "vet": dict(self.vet) if self.vet else None,
+            "provenance": dict(self.provenance) if self.provenance else None,
             "trace_digest": self.trace_digest,
         }
 
@@ -291,6 +303,7 @@ class CatalogEntry:
             rounded_terms=dict(payload.get("rounded_terms", {})),
             event_digests=dict(payload.get("event_digests", {})),
             vet=payload.get("vet"),
+            provenance=payload.get("provenance"),
             trace_digest=payload.get("trace_digest"),
             version=payload["version"],
         )
@@ -303,6 +316,7 @@ def entries_from_result(
     events_digest: str,
     trace_digest: Optional[str] = None,
     event_digests: Optional[Dict[str, str]] = None,
+    provenance: Optional[dict] = None,
 ) -> List[CatalogEntry]:
     """Catalog entries for every metric a pipeline run composed.
 
@@ -310,6 +324,11 @@ def entries_from_result(
     measured domain (``EventRegistry.event_digests()`` of the domain
     sub-registry); recording it lets ``repro.incr`` invalidate only the
     entries an edited event actually feeds.
+
+    ``provenance`` is the ingestion-provenance payload
+    (:meth:`repro.ingest.IngestBundle.provenance`) when the measurement
+    came from external collector files rather than the simulator; it is
+    recorded verbatim on every entry of the run.
     """
     config_digest = analysis_config_digest(result.domain, seed, result.config)
     qrcp_guards = (
@@ -344,6 +363,7 @@ def entries_from_result(
                     if definition.vet is not None
                     else None
                 ),
+                provenance=dict(provenance) if provenance else None,
                 trace_digest=trace_digest,
             )
         )

@@ -1,0 +1,321 @@
+"""Regenerate the checked-in ingestion fixture corpus.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/ingest/regenerate.py
+
+The corpus is *derived from the simulator* (the repository's bit-exact
+ground truth) and then dressed in real collector clothing: the Sapphire
+Rapids corpus becomes ``perf stat`` files (interval CSV, plain ``-x,``
+CSV, and a human-format baseline/sample) under perf's own event
+spellings, the Zen 3 corpus becomes one PAPI/CAT CSV matrix under PAPI
+preset names.  Deriving from the simulator is what makes the
+ingested-vs-simulated equivalence test meaningful: modulo the corpus's
+deliberate degradations, ingesting these files must reproduce the
+simulator's measurement bit-for-bit.
+
+Deliberate degradations (each one exercises a documented ingest path):
+
+* ``branch-misses`` reports a 75.00% multiplex percentage (values
+  untouched — perf had already scaled them): the column is exact,
+  survives the tau filter, gets selected by QRCP, and must drag the
+  ``degraded`` flag onto every metric that composes it.
+* ``br_inst_retired.near_taken`` reports 62.50%: an exact multiplexed
+  column QRCP does *not* select — the flag is recorded but no metric is
+  degraded by it.
+* ``baclears.any`` reports 50.00%: a noisy column the tau filter drops,
+  proving a flag alone does not doom a column — the filter does.
+* ``br_inst_retired.cond_ntaken`` is ``<not counted>`` for every
+  repetition of the ``k03_always_taken`` row (a zero-true-count cell,
+  so the typed zero keeps the column exact and composable — the
+  accountability test's subject).
+* ``int_misc.clear_resteer_cycles`` is ``<not supported>`` everywhere:
+  an all-zero column the zero-discard stage removes.
+* ``cpu_custom.unknown_event`` / ``amd_custom.unknown_event`` map to
+  nothing and must land in the unmapped report.
+* The SPR baseline run adds +0.25 to events where the addition is
+  exactly invertible in float64 (asserted below), so baseline
+  subtraction restores the simulator values bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cat import BenchmarkRunner, BranchBenchmark
+from repro.hardware.systems import aurora_node, frontier_cpu_node
+from repro.ingest.model import (
+    QUALITY_MULTIPLEXED,
+    QUALITY_NOT_COUNTED,
+    QUALITY_NOT_SUPPORTED,
+    QUALITY_OK,
+    CounterReading,
+    CounterSample,
+)
+from repro.ingest.papi import PapiMatrix, PapiRecord, serialize_papi_csv
+from repro.ingest.perf import serialize_samples
+
+HERE = Path(__file__).parent
+SEED = 2024
+REPS = 3
+BASELINE_OFFSET = 0.25
+
+# -- Sapphire Rapids perf corpus ----------------------------------------
+# (collector spelling, registry full name, multiplex pct or None)
+SPR_GROUP_A = [
+    ("branches", "BR_INST_RETIRED:ALL_BRANCHES", None),
+    ("br_inst_retired.cond", "BR_INST_RETIRED:COND", None),
+    ("br_inst_retired.cond_taken", "BR_INST_RETIRED:COND_TAKEN", None),
+    ("br_inst_retired.near_taken", "BR_INST_RETIRED:NEAR_TAKEN", 62.50),
+    ("branch-misses", "BR_MISP_RETIRED", 75.00),
+    ("cpu_custom.unknown_event", None, None),  # deliberately unmapped
+]
+SPR_GROUP_B = [
+    ("br_inst_retired.cond_ntaken", "BR_INST_RETIRED:COND_NTAKEN", None),
+    ("br_inst_retired.far_branch", "BR_INST_RETIRED:FAR_BRANCH", None),
+    ("br_misp_retired.cond", "BR_MISP_RETIRED:COND", None),
+    ("baclears.any", "BACLEARS:ANY", 50.00),
+    ("int_misc.clear_resteer_cycles", "INT_MISC:CLEAR_RESTEER_CYCLES", None),
+]
+#: (row, collector event) cells reported as <not counted>.
+SPR_NOT_COUNTED = {("k03_always_taken", "br_inst_retired.cond_ntaken")}
+#: Collector events reported as <not supported> everywhere.
+SPR_NOT_SUPPORTED = {"int_misc.clear_resteer_cycles"}
+
+# -- Zen 3 PAPI corpus --------------------------------------------------
+ZEN3_EVENTS = [
+    ("PAPI_BR_INS", "EX_RET_BRN"),
+    ("ex_ret_brn_tkn", "EX_RET_BRN_TKN"),
+    ("PAPI_BR_MSP", "EX_RET_BRN_MISP"),
+    ("ex_ret_cond", "EX_RET_COND"),
+    ("amd_custom.unknown_event", None),  # deliberately unmapped
+]
+ZEN3_NOT_COUNTED = {("k10_unconditional", "PAPI_BR_MSP")}
+
+
+def _measure(node, registry_names):
+    registry = node.events.select(
+        predicate=lambda e: e.full_name in set(registry_names)
+    )
+    got = set(registry.full_names)
+    missing = [n for n in registry_names if n not in got]
+    if missing:
+        raise SystemExit(f"registry lacks fixture events: {missing}")
+    runner = BenchmarkRunner(node, repetitions=REPS)
+    measurement = runner.run(BranchBenchmark(), events=registry)
+    assert measurement.data.shape[1] == 1, "branch benchmark is single-threaded"
+    return measurement
+
+
+def _cell(measurement, rep, row, event):
+    r = measurement.row_labels.index(row)
+    e = measurement.event_names.index(event)
+    return float(measurement.data[rep, 0, r, e])
+
+
+def _spr_reading(measurement, rep, row, collector, registry_name, pct):
+    if collector in SPR_NOT_SUPPORTED:
+        return CounterReading(collector, 0.0, QUALITY_NOT_SUPPORTED)
+    if (row, collector) in SPR_NOT_COUNTED:
+        return CounterReading(collector, 0.0, QUALITY_NOT_COUNTED)
+    value = _cell(measurement, rep, row, registry_name)
+    if collector in _spr_baseline_events(measurement):
+        value += BASELINE_OFFSET
+    if pct is not None:
+        return CounterReading(collector, value, QUALITY_MULTIPLEXED, scale_pct=pct)
+    return CounterReading(collector, value, QUALITY_OK, scale_pct=100.0)
+
+
+_baseline_cache = None
+
+
+def _spr_baseline_events(measurement):
+    """Collector events whose +0.25 baseline offset is exactly invertible
+    for every cell (and that the degradations leave fully 'ok')."""
+    global _baseline_cache
+    if _baseline_cache is not None:
+        return _baseline_cache
+    chosen = set()
+    for collector, registry_name, pct in SPR_GROUP_A + SPR_GROUP_B:
+        if registry_name is None or pct is not None:
+            continue
+        if collector in SPR_NOT_SUPPORTED:
+            continue
+        if any(c == collector for _, c in SPR_NOT_COUNTED):
+            continue
+        e = measurement.event_names.index(registry_name)
+        cells = measurement.data[:, 0, :, e]
+        if np.all((cells + BASELINE_OFFSET) - BASELINE_OFFSET == cells):
+            chosen.add(collector)
+    if not chosen:
+        raise SystemExit("no event qualifies for exact baseline calibration")
+    _baseline_cache = chosen
+    return chosen
+
+
+def _assert_zero_truth(measurement, not_counted, table):
+    """The <not counted> cells must sit where the true count is exactly
+    zero — the typed zero then *equals* the measurement, the column stays
+    bit-exact through the noise filter, and the accountability test gets
+    a flagged column that genuinely composes."""
+    registry_for = {c: n for c, n, *_ in table if n is not None}
+    for row, collector in not_counted:
+        for rep in range(REPS):
+            value = _cell(measurement, rep, row, registry_for[collector])
+            if value != 0.0:
+                raise SystemExit(
+                    f"fixture design violated: {collector} at {row} "
+                    f"rep {rep} is {value!r}, not 0.0"
+                )
+
+
+def write_spr(corpus: Path) -> None:
+    names = [n for _, n, _ in SPR_GROUP_A + SPR_GROUP_B if n is not None]
+    measurement = _measure(aurora_node(seed=SEED), names)
+    _assert_zero_truth(measurement, SPR_NOT_COUNTED, SPR_GROUP_A + SPR_GROUP_B)
+    rows = measurement.row_labels
+    (corpus / "groupA").mkdir(parents=True, exist_ok=True)
+    (corpus / "groupB").mkdir(parents=True, exist_ok=True)
+
+    manifest_rows = {}
+    for row in rows:
+        # Group A: one interval-mode file per row, one interval per rep.
+        samples = []
+        for rep in range(REPS):
+            sample = CounterSample(
+                source=row, format="perf-interval", interval=float(rep + 1)
+            )
+            for collector, registry_name, pct in SPR_GROUP_A:
+                if registry_name is None:
+                    sample.readings.append(
+                        CounterReading(collector, 7.0, QUALITY_OK, scale_pct=100.0)
+                    )
+                    continue
+                sample.readings.append(
+                    _spr_reading(measurement, rep, row, collector, registry_name, pct)
+                )
+            samples.append(sample)
+        a_path = corpus / "groupA" / f"{row}.csv"
+        a_path.write_text(serialize_samples("perf-interval", samples))
+
+        # Group B: k01 ships as three single-shot -x, files (exercising
+        # per-repetition file concatenation); every other row as one
+        # interval file.
+        b_files = []
+        b_samples = []
+        for rep in range(REPS):
+            sample = CounterSample(
+                source=row, format="perf-csv", interval=float(rep + 1)
+            )
+            for collector, registry_name, pct in SPR_GROUP_B:
+                sample.readings.append(
+                    _spr_reading(measurement, rep, row, collector, registry_name, pct)
+                )
+            b_samples.append(sample)
+        if row == "k01_alternating":
+            for rep, sample in enumerate(b_samples):
+                sample.interval = None
+                path = corpus / "groupB" / f"{row}_r{rep}.csv"
+                path.write_text(serialize_samples("perf-csv", [sample]))
+                b_files.append(f"groupB/{path.name}")
+        else:
+            for sample in b_samples:
+                sample.format = "perf-interval"
+            path = corpus / "groupB" / f"{row}.csv"
+            path.write_text(serialize_samples("perf-interval", b_samples))
+            b_files.append(f"groupB/{path.name}")
+        manifest_rows[row] = [[f"groupA/{row}.csv"], b_files]
+
+    # Baseline: a human-format calibration run reporting the fixed +0.25
+    # harness overhead for the exactly-invertible events.
+    baseline = CounterSample(source="baseline", format="perf-human")
+    for collector in sorted(_spr_baseline_events(measurement)):
+        baseline.readings.append(
+            CounterReading(collector, BASELINE_OFFSET, QUALITY_OK)
+        )
+    (corpus / "baseline.txt").write_text(
+        serialize_samples("perf-human", [baseline])
+    )
+
+    # A standalone human-format sample (k01, repetition 0) for the
+    # parse-only CLI paths; not referenced by the manifest.
+    human = CounterSample(source="sample", format="perf-human")
+    for collector, registry_name, pct in SPR_GROUP_A + SPR_GROUP_B:
+        if registry_name is None:
+            human.readings.append(CounterReading(collector, 7.0, QUALITY_OK))
+            continue
+        reading = _spr_reading(
+            measurement, 0, "k01_alternating", collector, registry_name, pct
+        )
+        human.readings.append(reading)
+    (corpus / "sample_human.txt").write_text(
+        serialize_samples("perf-human", [human])
+    )
+
+    manifest = {
+        "collector": "perf",
+        "uarch": "sapphire_rapids",
+        "domain": "branch",
+        "arch": "spr-ingest",
+        "rows": manifest_rows,
+        "baseline": ["baseline.txt"],
+    }
+    (corpus / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def write_zen3(corpus: Path) -> None:
+    names = [n for _, n in ZEN3_EVENTS if n is not None]
+    measurement = _measure(frontier_cpu_node(seed=SEED), names)
+    _assert_zero_truth(measurement, ZEN3_NOT_COUNTED, ZEN3_EVENTS)
+    corpus.mkdir(parents=True, exist_ok=True)
+    collector_names = tuple(c for c, _ in ZEN3_EVENTS)
+    records = []
+    for row in measurement.row_labels:
+        for rep in range(REPS):
+            sample = CounterSample(source="matrix.csv", format="papi-csv")
+            for collector, registry_name in ZEN3_EVENTS:
+                if registry_name is None:
+                    sample.readings.append(CounterReading(collector, 3.0))
+                    continue
+                if (row, collector) in ZEN3_NOT_COUNTED:
+                    sample.readings.append(
+                        CounterReading(collector, 0.0, QUALITY_NOT_COUNTED)
+                    )
+                    continue
+                sample.readings.append(
+                    CounterReading(
+                        collector, _cell(measurement, rep, row, registry_name)
+                    )
+                )
+            records.append(PapiRecord(row=row, repetition=rep, sample=sample))
+    matrix = PapiMatrix(
+        source="matrix.csv", event_names=collector_names, records=records
+    )
+    (corpus / "matrix.csv").write_text(serialize_papi_csv(matrix))
+    manifest = {
+        "collector": "papi",
+        "uarch": "zen3",
+        "domain": "branch",
+        "arch": "zen3-ingest",
+        "matrix": "matrix.csv",
+    }
+    (corpus / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def main() -> int:
+    write_spr(HERE / "spr_branch")
+    write_zen3(HERE / "zen3_branch")
+    print(f"fixture corpus regenerated under {HERE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

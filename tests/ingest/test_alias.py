@@ -1,0 +1,144 @@
+"""Alias-layer tests: family detection, resolution order, unmapped report."""
+
+import pytest
+
+from repro.events.catalogs import sapphire_rapids_events, zen3_events
+from repro.ingest import (
+    KEY_EVENT_MAPPINGS,
+    IngestError,
+    normalize_event_name,
+    registry_for_family,
+    resolve_events,
+    resolve_uarch,
+)
+
+
+class TestFamilyDetection:
+    @pytest.mark.parametrize(
+        "uarch, family",
+        [
+            ("Sapphire Rapids", "sapphire"),
+            ("Intel(R) Xeon SPR", "sapphire"),
+            ("EMR / Emerald Rapids", "sapphire"),
+            ("icelake-server", "icelake"),
+            ("ICX", "icelake"),
+            ("Skylake-X", "skylake"),
+            ("cascadelake", "skylake"),
+            ("AMD Zen3 (Milan)", "zen3"),
+            ("vermeer", "zen3"),
+        ],
+    )
+    def test_substring_patterns(self, uarch, family):
+        assert resolve_uarch(uarch) == family
+
+    def test_unknown_uarch_rejected(self):
+        with pytest.raises(IngestError, match="unknown uarch"):
+            resolve_uarch("itanium2")
+
+    def test_empty_uarch_rejected(self):
+        with pytest.raises(IngestError, match="empty"):
+            resolve_uarch("   ")
+
+    def test_family_registries(self):
+        spr = sapphire_rapids_events()
+        assert registry_for_family("sapphire").full_names == spr.full_names
+        assert registry_for_family("skylake").full_names == spr.full_names
+        assert (
+            registry_for_family("zen3").full_names == zen3_events().full_names
+        )
+        with pytest.raises(IngestError, match="unknown uarch family"):
+            registry_for_family("alpha21264")
+
+    def test_alias_tables_target_real_registry_events(self):
+        # Every alias table row must point at an event the family's
+        # registry actually carries — a dangling alias would assemble a
+        # column the pipeline's basis cannot account for.
+        for family, table in KEY_EVENT_MAPPINGS.items():
+            registry = registry_for_family(family)
+            for collector, target in table.items():
+                assert target in registry, (family, collector, target)
+
+
+class TestResolutionOrder:
+    def test_exact_name_wins(self):
+        res = resolve_events(["BR_INST_RETIRED:COND"], "sapphire")
+        assert res.mapped == {"BR_INST_RETIRED:COND": "BR_INST_RETIRED:COND"}
+
+    def test_alias_table_consulted_second(self):
+        res = resolve_events(["branch-misses"], "spr")
+        assert res.mapped["branch-misses"] == "BR_MISP_RETIRED"
+
+    def test_normalization_fallback(self):
+        # Not in the registry verbatim, not in any alias table — but the
+        # mechanical upper + "." -> ":" respelling is a registry member.
+        res = resolve_events(["br_inst_retired.cond_taken"], "sapphire")
+        assert (
+            res.mapped["br_inst_retired.cond_taken"]
+            == "BR_INST_RETIRED:COND_TAKEN"
+        )
+        assert (
+            normalize_event_name("br_inst_retired.cond_taken")
+            == "BR_INST_RETIRED:COND_TAKEN"
+        )
+
+    def test_family_specific_respelling(self):
+        # Pre-SPR Intel spells the conditional events differently; the
+        # skylake/icelake tables carry the respelling, sapphire does not.
+        res = resolve_events(["br_inst_retired.conditional"], "skylake")
+        assert res.mapped["br_inst_retired.conditional"] == (
+            "BR_INST_RETIRED:COND"
+        )
+        res = resolve_events(["br_inst_retired.conditional"], "sapphire")
+        assert res.unmapped == ("br_inst_retired.conditional",)
+
+    def test_unmapped_reported_in_order(self):
+        res = resolve_events(
+            ["mystery.event_a", "branches", "mystery.event_b"], "sapphire"
+        )
+        assert res.unmapped == ("mystery.event_a", "mystery.event_b")
+        assert list(res.mapped) == ["branches"]
+
+    def test_duplicate_collector_name_rejected(self):
+        with pytest.raises(IngestError, match="duplicate collector event"):
+            resolve_events(["branches", "branches"], "sapphire")
+
+    def test_two_spellings_of_one_event_rejected(self):
+        # "branches" (alias) and the PAPI preset both resolve onto
+        # BR_INST_RETIRED:ALL_BRANCHES; merging would average one counter
+        # against itself.
+        with pytest.raises(IngestError, match="both"):
+            resolve_events(["branches", "PAPI_BR_INS"], "sapphire")
+
+    def test_zen3_presets(self):
+        res = resolve_events(
+            ["PAPI_BR_INS", "PAPI_BR_MSP", "ex_ret_brn_tkn"], "milan"
+        )
+        assert res.mapped == {
+            "PAPI_BR_INS": "EX_RET_BRN",
+            "PAPI_BR_MSP": "EX_RET_BRN_MISP",
+            "ex_ret_brn_tkn": "EX_RET_BRN_TKN",
+        }
+
+
+class TestRegistryOrder:
+    def test_registry_names_follow_catalog_order(self):
+        # Input order deliberately scrambled; column order must come out
+        # in registry catalog order regardless (QRCP tie-break
+        # determinism depends on it).
+        res = resolve_events(
+            ["branch-misses", "br_inst_retired.cond", "branches"], "sapphire"
+        )
+        names = res.registry_names()
+        catalog = [n for n in res.registry.full_names if n in set(names)]
+        assert names == catalog
+        assert set(names) == {
+            "BR_MISP_RETIRED",
+            "BR_INST_RETIRED:COND",
+            "BR_INST_RETIRED:ALL_BRANCHES",
+        }
+
+    def test_collector_name_reverse_lookup(self):
+        res = resolve_events(["branch-misses"], "sapphire")
+        assert res.collector_name("BR_MISP_RETIRED") == "branch-misses"
+        with pytest.raises(KeyError):
+            res.collector_name("CPU_CLK_UNHALTED:THREAD")

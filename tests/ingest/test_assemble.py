@@ -1,0 +1,381 @@
+"""Assembly tests: manifest validation, group merging, baseline
+calibration, quality aggregation, and ingested-vs-simulated equivalence
+on the checked-in fixture corpus."""
+
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cat import BenchmarkRunner, BranchBenchmark
+from repro.hardware.systems import aurora_node, frontier_cpu_node
+from repro.ingest import (
+    IngestError,
+    assemble,
+    ingest_basis,
+    load_manifest,
+)
+
+DATA = Path(__file__).parent.parent / "data" / "ingest"
+SPR = DATA / "spr_branch" / "manifest.json"
+ZEN3 = DATA / "zen3_branch" / "manifest.json"
+FIXTURE_SEED = 2024
+FIXTURE_REPS = 3
+
+
+@pytest.fixture(scope="module")
+def spr_bundle():
+    return assemble(load_manifest(SPR))
+
+
+@pytest.fixture(scope="module")
+def zen3_bundle():
+    return assemble(load_manifest(ZEN3))
+
+
+def _reference(node, names):
+    """The simulator measurement the fixture corpus was derived from."""
+    registry = node.events.select(
+        predicate=lambda e: e.full_name in set(names)
+    )
+    runner = BenchmarkRunner(node, repetitions=FIXTURE_REPS)
+    return runner.run(BranchBenchmark(), events=registry)
+
+
+class TestLoadManifest:
+    def _write(self, tmp_path, payload) -> Path:
+        path = tmp_path / "manifest.json"
+        path.write_text(
+            payload if isinstance(payload, str) else json.dumps(payload)
+        )
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IngestError, match="cannot read manifest"):
+            load_manifest(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        with pytest.raises(IngestError, match="not valid JSON"):
+            load_manifest(self._write(tmp_path, "{broken"))
+
+    def test_missing_collector(self, tmp_path):
+        with pytest.raises(IngestError, match="missing 'collector'"):
+            load_manifest(
+                self._write(tmp_path, {"uarch": "spr", "domain": "branch"})
+            )
+
+    def test_unknown_collector(self, tmp_path):
+        with pytest.raises(IngestError, match="unknown collector"):
+            load_manifest(
+                self._write(
+                    tmp_path,
+                    {"collector": "vtune", "uarch": "spr", "domain": "branch"},
+                )
+            )
+
+    def test_non_ingestable_domain(self, tmp_path):
+        with pytest.raises(IngestError, match="not ingestable"):
+            load_manifest(
+                self._write(
+                    tmp_path,
+                    {
+                        "collector": "perf",
+                        "uarch": "spr",
+                        "domain": "l1_cache",
+                        "rows": {"k": ["f.csv"]},
+                    },
+                )
+            )
+        with pytest.raises(IngestError, match="not ingestable"):
+            ingest_basis("l1_cache")
+
+    def test_papi_rejects_rows_and_baseline(self, tmp_path):
+        base = {"collector": "papi", "uarch": "zen3", "domain": "branch"}
+        with pytest.raises(IngestError, match="missing 'matrix'"):
+            load_manifest(self._write(tmp_path, base))
+        with pytest.raises(IngestError, match="'matrix', not 'rows'"):
+            load_manifest(
+                self._write(
+                    tmp_path, {**base, "matrix": "m.csv", "rows": {"k": ["f"]}}
+                )
+            )
+        with pytest.raises(IngestError, match="baseline calibration"):
+            load_manifest(
+                self._write(
+                    tmp_path, {**base, "matrix": "m.csv", "baseline": ["b"]}
+                )
+            )
+
+    def test_flat_file_list_is_one_group(self, tmp_path):
+        manifest = load_manifest(
+            self._write(
+                tmp_path,
+                {
+                    "collector": "perf",
+                    "uarch": "spr",
+                    "domain": "branch",
+                    "rows": {"k01": ["a.csv", "b.csv"]},
+                },
+            )
+        )
+        assert manifest.rows["k01"] == [["a.csv", "b.csv"]]
+
+    def test_arch_defaults_to_uarch_ingest(self, tmp_path):
+        manifest = load_manifest(
+            self._write(
+                tmp_path,
+                {
+                    "collector": "perf",
+                    "uarch": "icelake",
+                    "domain": "branch",
+                    "rows": {"k01": ["a.csv"]},
+                },
+            )
+        )
+        assert manifest.arch == "icelake-ingest"
+
+
+class TestSprAssembly:
+    def test_matrix_shape_and_order(self, spr_bundle):
+        m = spr_bundle.measurement
+        basis = ingest_basis("branch")
+        assert m.row_labels == list(basis.row_labels)
+        assert m.data.shape == (FIXTURE_REPS, 1, len(m.row_labels), 10)
+        # Column order is registry catalog order.
+        registry = spr_bundle.resolution.registry
+        catalog = [
+            n for n in registry.full_names if n in set(m.event_names)
+        ]
+        assert m.event_names == catalog
+
+    def test_sources_digested(self, spr_bundle):
+        # 11 groupA files + (3 k01 single-shots + 10 interval) groupB
+        # files + 1 baseline = 25, every one with a full SHA-256.
+        assert len(spr_bundle.sources) == 25
+        assert "baseline.txt" in spr_bundle.sources
+        for digest in spr_bundle.sources.values():
+            assert len(digest) == 64 and int(digest, 16) >= 0
+
+    def test_unmapped_reported(self, spr_bundle):
+        assert spr_bundle.resolution.unmapped == ("cpu_custom.unknown_event",)
+
+    def test_column_quality(self, spr_bundle):
+        flags = {
+            name: q
+            for name, q in spr_bundle.column_quality.items()
+            if q
+        }
+        assert flags == {
+            "BR_INST_RETIRED:COND_NTAKEN": ("not_counted",),
+            "BR_INST_RETIRED:NEAR_TAKEN": ("multiplexed",),
+            "BR_MISP_RETIRED": ("multiplexed",),
+            "BACLEARS:ANY": ("multiplexed",),
+            "INT_MISC:CLEAR_RESTEER_CYCLES": ("not_supported",),
+        }
+        assert spr_bundle.flagged_columns == tuple(
+            n
+            for n in spr_bundle.measurement.event_names
+            if n in flags
+        )
+
+    def test_baseline_subtracted(self, spr_bundle):
+        # The calibration run reports a flat +0.25 harness overhead on
+        # five fully-ok events.
+        assert len(spr_bundle.baseline) == 5
+        assert set(spr_bundle.baseline.values()) == {0.25}
+
+    def test_equivalence_with_simulator(self, spr_bundle):
+        # The corpus is derived from the simulator; after baseline
+        # subtraction every column must match bit-for-bit — except the
+        # <not supported> column, whose typed zeros replace the
+        # simulator's values.
+        m = spr_bundle.measurement
+        ref = _reference(aurora_node(seed=FIXTURE_SEED), m.event_names)
+        assert ref.row_labels == m.row_labels
+        mismatched = []
+        for e_idx, name in enumerate(m.event_names):
+            sim = ref.data[:, :, :, ref.event_names.index(name)]
+            ing = m.data[:, :, :, e_idx]
+            if not np.array_equal(ing, sim):
+                mismatched.append(name)
+        assert mismatched == ["INT_MISC:CLEAR_RESTEER_CYCLES"]
+        e_ns = m.event_names.index("INT_MISC:CLEAR_RESTEER_CYCLES")
+        assert np.all(m.data[:, :, :, e_ns] == 0.0)
+
+    def test_assembly_is_bit_stable(self, spr_bundle):
+        again = assemble(load_manifest(SPR))
+        assert np.array_equal(
+            again.measurement.data, spr_bundle.measurement.data
+        )
+        assert again.provenance() == spr_bundle.provenance()
+
+    def test_report_and_provenance_surface(self, spr_bundle):
+        report = spr_bundle.report()
+        assert "unmapped events: 1" in report
+        assert "cpu_custom.unknown_event" in report
+        assert "[multiplexed]" in report
+        assert "baseline: subtracted from 5 event(s)" in report
+        prov = spr_bundle.provenance()
+        assert prov["kind"] == "ingest"
+        assert prov["collector"] == "perf"
+        assert prov["uarch"] == "sapphire_rapids"
+        assert prov["family"] == "sapphire"
+        assert len(prov["sources"]) == 25
+        assert prov["unmapped"] == ["cpu_custom.unknown_event"]
+        assert "BR_MISP_RETIRED" in prov["quality"]
+
+
+class TestZen3Assembly:
+    def test_papi_matrix_assembles(self, zen3_bundle):
+        m = zen3_bundle.measurement
+        assert m.data.shape[0] == FIXTURE_REPS
+        assert m.data.shape[3] == 4
+        assert zen3_bundle.resolution.unmapped == (
+            "amd_custom.unknown_event",
+        )
+        flags = {
+            n: q for n, q in zen3_bundle.column_quality.items() if q
+        }
+        assert flags == {"EX_RET_BRN_MISP": ("not_counted",)}
+        assert zen3_bundle.baseline == {}
+
+    def test_equivalence_with_simulator(self, zen3_bundle):
+        # The zen3 <not counted> cell sits on a true-zero count, so the
+        # typed zero equals the simulator value and *every* column
+        # matches bit-for-bit.
+        m = zen3_bundle.measurement
+        ref = _reference(frontier_cpu_node(seed=FIXTURE_SEED), m.event_names)
+        assert ref.row_labels == m.row_labels
+        for e_idx, name in enumerate(m.event_names):
+            sim = ref.data[:, :, :, ref.event_names.index(name)]
+            assert np.array_equal(m.data[:, :, :, e_idx], sim), name
+
+
+class TestAssemblyErrors:
+    @pytest.fixture()
+    def spr_copy(self, tmp_path):
+        dest = tmp_path / "spr"
+        shutil.copytree(SPR.parent, dest)
+        return dest
+
+    @pytest.fixture()
+    def zen3_copy(self, tmp_path):
+        dest = tmp_path / "zen3"
+        shutil.copytree(ZEN3.parent, dest)
+        return dest
+
+    def _edit_manifest(self, corpus, mutate):
+        path = corpus / "manifest.json"
+        payload = json.loads(path.read_text())
+        mutate(payload)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return path
+
+    def test_missing_row_rejected(self, spr_copy):
+        path = self._edit_manifest(
+            spr_copy, lambda p: p["rows"].pop("k01_alternating")
+        )
+        with pytest.raises(IngestError, match="missing kernel rows"):
+            assemble(load_manifest(path))
+
+    def test_unknown_row_rejected(self, spr_copy):
+        path = self._edit_manifest(
+            spr_copy,
+            lambda p: p["rows"].__setitem__(
+                "k99_mystery", [["groupA/k01_alternating.csv"]]
+            ),
+        )
+        with pytest.raises(IngestError, match="unknown kernel rows"):
+            assemble(load_manifest(path))
+
+    def test_group_repetition_mismatch(self, spr_copy):
+        # k01's group B is three single-shot files; dropping one leaves
+        # its groups at 3 vs 2 repetitions.
+        def mutate(p):
+            p["rows"]["k01_alternating"][1].pop()
+
+        path = self._edit_manifest(spr_copy, mutate)
+        with pytest.raises(IngestError, match="disagree on repetition count"):
+            assemble(load_manifest(path))
+
+    def test_duplicate_event_across_groups(self, spr_copy):
+        # The same file as both groups of a row: every event appears
+        # twice, which is two readings of one counter.
+        def mutate(p):
+            p["rows"]["k02_never_taken"] = [
+                ["groupA/k02_never_taken.csv"],
+                ["groupA/k02_never_taken.csv"],
+            ]
+
+        path = self._edit_manifest(spr_copy, mutate)
+        with pytest.raises(IngestError, match="appears in groups"):
+            assemble(load_manifest(path))
+
+    def test_inconsistent_event_set(self, spr_copy):
+        # Drop one reading line from one repetition of one row.
+        target = spr_copy / "groupA" / "k02_never_taken.csv"
+        lines = target.read_text().splitlines()
+        assert lines[0].startswith("1.0,")
+        target.write_text("\n".join(lines[1:]) + "\n")
+        with pytest.raises(IngestError, match="different event set"):
+            assemble(load_manifest(spr_copy / "manifest.json"))
+
+    def test_missing_source_file(self, spr_copy):
+        (spr_copy / "baseline.txt").unlink()
+        with pytest.raises(IngestError, match="cannot read 'baseline.txt'"):
+            assemble(load_manifest(spr_copy / "manifest.json"))
+
+    def _filter_matrix(self, corpus, keep):
+        path = corpus / "matrix.csv"
+        lines = path.read_text().splitlines()
+        kept = [lines[0]] + [
+            line for line in lines[1:] if keep(line.split(","))
+        ]
+        path.write_text("\n".join(kept) + "\n")
+
+    def test_papi_too_few_repetitions(self, zen3_copy):
+        self._filter_matrix(zen3_copy, lambda f: f[1] == "0")
+        with pytest.raises(IngestError, match="at least 2 repetitions"):
+            assemble(load_manifest(zen3_copy / "manifest.json"))
+
+    def test_papi_rows_disagree_on_repetitions(self, zen3_copy):
+        self._filter_matrix(
+            zen3_copy,
+            lambda f: not (f[0] == "k05_unpred_guard_nt" and f[1] == "2"),
+        )
+        with pytest.raises(IngestError, match="has repetitions"):
+            assemble(load_manifest(zen3_copy / "manifest.json"))
+
+    def test_papi_repetitions_must_start_at_zero(self, zen3_copy):
+        path = zen3_copy / "matrix.csv"
+        lines = path.read_text().splitlines()
+        shifted = [lines[0]]
+        for line in lines[1:]:
+            fields = line.split(",")
+            fields[1] = str(int(fields[1]) + 1)
+            shifted.append(",".join(fields))
+        path.write_text("\n".join(shifted) + "\n")
+        with pytest.raises(IngestError, match="contiguous from 0"):
+            assemble(load_manifest(zen3_copy / "manifest.json"))
+
+    def test_nothing_mapped_rejected(self, tmp_path):
+        lines = ["row,repetition,totally.unknown_event"]
+        for row in ingest_basis("branch").row_labels:
+            for rep in (0, 1):
+                lines.append(f"{row},{rep},1.0")
+        (tmp_path / "matrix.csv").write_text("\n".join(lines) + "\n")
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "collector": "papi",
+                    "uarch": "zen3",
+                    "domain": "branch",
+                    "matrix": "matrix.csv",
+                }
+            )
+        )
+        with pytest.raises(IngestError, match="no collector event maps"):
+            assemble(load_manifest(manifest))

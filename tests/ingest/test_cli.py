@@ -1,0 +1,180 @@
+"""CLI tests for the ``repro-cat ingest`` family.
+
+Exit-code discipline (the repository-wide convention): 0 success,
+1 analysis failure, 2 usage/validation — and a malformed input file
+exits 2 with the offending file, line, and column named on stderr.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from tests.test_cli import exit_code
+
+DATA = Path(__file__).parent.parent / "data" / "ingest"
+SPR = DATA / "spr_branch"
+ZEN3 = DATA / "zen3_branch"
+
+
+class TestParse:
+    def test_parse_human_sample(self, capsys):
+        sample = SPR / "sample_human.txt"
+        assert exit_code(["ingest", "parse", str(sample)]) == 0
+        out = capsys.readouterr().out
+        # Canonical output re-parses byte-identically: parsing a file the
+        # serializer wrote echoes it exactly.
+        assert out == sample.read_text()
+
+    def test_parse_summary(self, capsys):
+        assert (
+            exit_code(
+                ["ingest", "parse", str(SPR / "sample_human.txt"), "--summary"]
+            )
+            == 0
+        )
+        assert "perf-human: 1 sample(s), 11 reading(s)" in (
+            capsys.readouterr().out
+        )
+
+    def test_parse_papi_sniffed(self, capsys):
+        assert (
+            exit_code(
+                ["ingest", "parse", str(ZEN3 / "matrix.csv"), "--summary"]
+            )
+            == 0
+        )
+        assert "papi-csv: 33 record(s), 11 row(s), 5 event(s)" in (
+            capsys.readouterr().out
+        )
+
+    def test_missing_file_is_two(self, capsys):
+        assert exit_code(["ingest", "parse", "/nonexistent/perf.txt"]) == 2
+
+    def test_malformed_input_is_two_and_names_position(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("1.0,,ok_event,0,100\nwat,,ev,0,100\n")
+        assert (
+            exit_code(
+                ["ingest", "parse", str(bad), "--format", "perf-csv"]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert f"{bad}:2:1" in err
+        assert "unreadable counter value" in err
+
+    def test_malformed_papi_is_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("row,repetition,EV\nk01,0,oops\n")
+        assert exit_code(["ingest", "parse", str(bad)]) == 2
+        assert f"{bad}:2:7" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_report_surfaces_quality_and_unmapped(self, capsys):
+        assert (
+            exit_code(["ingest", "report", str(SPR / "manifest.json")]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "unmapped events: 1" in out
+        assert "cpu_custom.unknown_event" in out
+        assert "[multiplexed]" in out
+        assert "[not_counted]" in out
+
+    def test_report_json_is_the_provenance_payload(self, capsys):
+        assert (
+            exit_code(
+                ["ingest", "report", str(ZEN3 / "manifest.json"), "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "ingest"
+        assert payload["collector"] == "papi"
+        assert payload["unmapped"] == ["amd_custom.unknown_event"]
+        assert payload["quality"] == {"EX_RET_BRN_MISP": ["not_counted"]}
+
+    def test_bad_manifest_is_two(self, tmp_path, capsys):
+        bad = tmp_path / "manifest.json"
+        bad.write_text(json.dumps({"collector": "vtune"}))
+        assert exit_code(["ingest", "report", str(bad)]) == 2
+        assert "unknown collector" in capsys.readouterr().err
+
+    def test_broken_corpus_is_two(self, tmp_path, capsys):
+        corpus = tmp_path / "spr"
+        shutil.copytree(SPR, corpus)
+        target = corpus / "groupA" / "k02_never_taken.csv"
+        target.write_text("garbage that is not perf output\n")
+        assert (
+            exit_code(["ingest", "report", str(corpus / "manifest.json")])
+            == 2
+        )
+        assert "unrecognized perf stat" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_publishes_with_provenance(self, tmp_path, capsys):
+        catalog = tmp_path / "catalog"
+        assert (
+            exit_code(
+                [
+                    "ingest",
+                    "run",
+                    str(SPR / "manifest.json"),
+                    "--catalog",
+                    str(catalog),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "degraded (composes a quality-flagged column)" in out
+        assert "spr-ingest@seed0" in out
+        # The published entry surfaces its ingestion provenance through
+        # the ordinary catalog CLI — the ISSUE's acceptance check.
+        assert (
+            exit_code(
+                [
+                    "catalog",
+                    "show",
+                    "--root",
+                    str(catalog),
+                    "--arch",
+                    "spr-ingest",
+                    "Mispredicted Branches.",
+                ]
+            )
+            == 0
+        )
+        shown = capsys.readouterr().out
+        assert "provenance   : perf ingest, uarch sapphire_rapids" in shown
+        assert "baseline.txt" in shown
+        assert "[DEGRADED]" in shown
+
+    def test_rerun_dedupes(self, tmp_path, capsys):
+        catalog = tmp_path / "catalog"
+        argv = [
+            "ingest",
+            "run",
+            str(ZEN3 / "manifest.json"),
+            "--catalog",
+            str(catalog),
+        ]
+        assert exit_code(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 deduped" in first
+        assert exit_code(argv) == 0
+        second = capsys.readouterr().out
+        assert "(0 new," in second  # every entry collapsed onto v1
+
+    def test_run_without_catalog_only_analyzes(self, capsys):
+        assert exit_code(["ingest", "run", str(ZEN3 / "manifest.json")]) == 0
+        assert "catalog:" not in capsys.readouterr().out
+
+    def test_missing_manifest_is_two(self, capsys):
+        assert exit_code(["ingest", "run", "/nonexistent/manifest.json"]) == 2
+
+    def test_unknown_subcommand_is_two(self, capsys):
+        assert exit_code(["ingest", "frobnicate"]) == 2

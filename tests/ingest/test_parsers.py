@@ -1,0 +1,324 @@
+"""Parser tests: grammar, error positions, and canonical round-trips.
+
+The round-trip property is the ingestion layer's bit-stability
+guarantee: for every format, ``serialize ∘ parse`` is the identity on
+canonical text (parse → serialize → parse is byte-stable), so a
+re-serialized fixture can never drift from what was parsed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ingest import (
+    QUALITY_MULTIPLEXED,
+    QUALITY_NOT_COUNTED,
+    QUALITY_NOT_SUPPORTED,
+    QUALITY_OK,
+    CounterReading,
+    CounterSample,
+    IngestParseError,
+    detect_format,
+    parse_papi_csv,
+    parse_perf,
+    serialize_papi_csv,
+    serialize_samples,
+)
+from repro.ingest.papi import PapiMatrix, PapiRecord
+
+HUMAN = """\
+ Performance counter stats for './bench':
+
+     2,145,437,570      branches                         #  1.2 G/sec
+        12,493,111      branch-misses                    (75.00%)
+     <not counted>      br_inst_retired.cond_ntaken
+   <not supported>      int_misc.clear_resteer_cycles
+
+       1.001242650 seconds time elapsed
+"""
+
+
+class TestHumanFormat:
+    def test_parses_values_and_qualities(self):
+        fmt, samples = parse_perf(HUMAN, source="bench.txt")
+        assert fmt == "perf-human"
+        (sample,) = samples
+        assert sample.reading("branches").value == 2145437570.0
+        assert sample.reading("branches").quality == QUALITY_OK
+        misses = sample.reading("branch-misses")
+        assert misses.quality == QUALITY_MULTIPLEXED
+        assert misses.scale_pct == 75.0
+        assert misses.value == 12493111.0  # perf's scaled value, untouched
+        nc = sample.reading("br_inst_retired.cond_ntaken")
+        assert (nc.value, nc.quality) == (0.0, QUALITY_NOT_COUNTED)
+        ns = sample.reading("int_misc.clear_resteer_cycles")
+        assert (ns.value, ns.quality) == (0.0, QUALITY_NOT_SUPPORTED)
+
+    def test_garbage_line_names_position(self):
+        bad = HUMAN.replace(
+            "        12,493,111      branch-misses                    (75.00%)",
+            "        ?!bogus line",
+        )
+        with pytest.raises(IngestParseError) as err:
+            parse_perf(bad, source="bench.txt")
+        assert err.value.source == "bench.txt"
+        assert err.value.line == 4
+        assert err.value.column == 9
+        assert "bench.txt:4:9" in str(err.value)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(IngestParseError):
+            parse_perf("", source="empty.txt")
+
+
+class TestCsvFormat:
+    def test_parses_fields(self):
+        text = "1200.5,,cycles,800000,100.00\n<not counted>,,slots,0,\n"
+        fmt, samples = parse_perf(text, source="x.csv")
+        assert fmt == "perf-csv"
+        (sample,) = samples
+        assert sample.reading("cycles").value == 1200.5
+        assert sample.reading("slots").quality == QUALITY_NOT_COUNTED
+
+    def test_multiplex_pct_flags(self):
+        fmt, samples = parse_perf("10.0,,ev,0,62.50\n", source="x.csv")
+        assert samples[0].readings[0].quality == QUALITY_MULTIPLEXED
+        assert samples[0].readings[0].scale_pct == 62.5
+
+    def test_bad_value_names_line_and_column(self):
+        with pytest.raises(IngestParseError) as err:
+            parse_perf("1.0,,ok_event,0,100\nwat,,ev,0,100\n", format="perf-csv")
+        assert err.value.line == 2
+        assert err.value.column == 1
+
+    def test_bad_pct_names_column(self):
+        with pytest.raises(IngestParseError) as err:
+            parse_perf("1.0,,ev,0,notapct\n", format="perf-csv")
+        assert err.value.line == 1
+        assert err.value.column == 11
+
+
+class TestIntervalFormat:
+    TEXT = (
+        "1.0,5.0,,branches,0,100.00\n"
+        "1.0,2.0,,branch-misses,0,100.00\n"
+        "2.0,5.0,,branches,0,100.00\n"
+        "2.0,3.0,,branch-misses,0,100.00\n"
+    )
+
+    def test_one_sample_per_timestamp(self):
+        fmt, samples = parse_perf(self.TEXT, source="i.csv")
+        assert fmt == "perf-interval"
+        assert [s.interval for s in samples] == [1.0, 2.0]
+        assert samples[1].reading("branch-misses").value == 3.0
+
+    def test_timestamps_must_increase(self):
+        backwards = self.TEXT + "1.5,1.0,,branches,0,100.00\n"
+        with pytest.raises(IngestParseError) as err:
+            parse_perf(backwards, format="perf-interval")
+        assert err.value.line == 5
+
+    def test_bad_timestamp_positioned(self):
+        with pytest.raises(IngestParseError) as err:
+            parse_perf("zap,1.0,,ev,0,100\n", format="perf-interval")
+        assert (err.value.line, err.value.column) == (1, 1)
+
+
+class TestDetectFormat:
+    def test_sniffs_all_three(self):
+        assert detect_format(HUMAN) == "perf-human"
+        assert detect_format("1.0,,ev,0,100.00\n") == "perf-csv"
+        assert detect_format("1.0,2.0,,ev,0,100.00\n") == "perf-interval"
+
+    def test_unrecognizable_raises(self):
+        with pytest.raises(IngestParseError):
+            detect_format("!! not perf output !!")
+
+
+class TestPapiFormat:
+    TEXT = (
+        "row,repetition,PAPI_BR_INS,PAPI_BR_MSP\n"
+        "k01,0,2.0,0.5\n"
+        "k01,1,2.0,<not counted>\n"
+    )
+
+    def test_parses_matrix(self):
+        matrix = parse_papi_csv(self.TEXT, source="m.csv")
+        assert matrix.event_names == ("PAPI_BR_INS", "PAPI_BR_MSP")
+        assert matrix.row_labels == ("k01",)
+        assert matrix.records[1].sample.reading("PAPI_BR_MSP").quality == (
+            QUALITY_NOT_COUNTED
+        )
+
+    def test_header_required(self):
+        with pytest.raises(IngestParseError) as err:
+            parse_papi_csv("kernel,rep,EV\nk,0,1.0\n", source="m.csv")
+        assert err.value.line == 1
+
+    def test_field_count_enforced(self):
+        with pytest.raises(IngestParseError) as err:
+            parse_papi_csv(self.TEXT + "k01,2,9.0\n")
+        assert err.value.line == 4
+
+    def test_duplicate_cell_rejected(self):
+        with pytest.raises(IngestParseError) as err:
+            parse_papi_csv(self.TEXT + "k01,1,3.0,4.0\n")
+        assert "duplicate" in err.value.reason
+
+    def test_bad_cell_names_column(self):
+        with pytest.raises(IngestParseError) as err:
+            parse_papi_csv("row,repetition,EV\nk01,0,oops\n")
+        assert (err.value.line, err.value.column) == (2, 7)
+
+
+# -- property tests: canonical round-trips ------------------------------
+_EVENT = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.:]{0,24}", fullmatch=True)
+_VALUE = st.floats(
+    min_value=0.0, max_value=1e15, allow_nan=False, allow_infinity=False
+)
+#: Multiplex percentages quantized to perf's two decimals so the
+#: canonical "%.2f" rendering is lossless.
+_PCT = st.integers(min_value=1, max_value=10000).map(lambda n: n / 100.0)
+
+
+@st.composite
+def _readings(draw, min_size=1, max_size=8):
+    names = draw(
+        st.lists(_EVENT, min_size=min_size, max_size=max_size, unique=True)
+    )
+    readings = []
+    for name in names:
+        marker = draw(
+            st.sampled_from(["value", "not_counted", "not_supported"])
+        )
+        pct = draw(st.none() | _PCT)
+        if marker == "not_counted":
+            readings.append(
+                CounterReading(name, 0.0, QUALITY_NOT_COUNTED, scale_pct=pct)
+            )
+        elif marker == "not_supported":
+            readings.append(
+                CounterReading(name, 0.0, QUALITY_NOT_SUPPORTED, scale_pct=pct)
+            )
+        else:
+            value = draw(_VALUE)
+            quality = (
+                QUALITY_MULTIPLEXED
+                if pct is not None and pct < 100.0
+                else QUALITY_OK
+            )
+            readings.append(CounterReading(name, value, quality, scale_pct=pct))
+    return readings
+
+
+@st.composite
+def _single_sample(draw, format):
+    sample = CounterSample(source="<prop>", format=format)
+    sample.readings.extend(draw(_readings()))
+    return [sample]
+
+
+@st.composite
+def _interval_samples(draw):
+    names = draw(st.lists(_EVENT, min_size=1, max_size=5, unique=True))
+    ticks = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=10**6),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    samples = []
+    for tick in sorted(ticks):
+        sample = CounterSample(
+            source="<prop>", format="perf-interval", interval=tick / 100.0
+        )
+        for name in names:
+            pct = draw(st.none() | _PCT)
+            value = draw(_VALUE)
+            quality = (
+                QUALITY_MULTIPLEXED
+                if pct is not None and pct < 100.0
+                else QUALITY_OK
+            )
+            sample.readings.append(
+                CounterReading(name, value, quality, scale_pct=pct)
+            )
+        samples.append(sample)
+    return samples
+
+
+def _assert_fixpoint(format, samples):
+    canonical = serialize_samples(format, samples)
+    fmt, reparsed = parse_perf(canonical, format="auto")
+    assert fmt == format
+    assert serialize_samples(fmt, reparsed) == canonical  # byte-stable
+    again_fmt, again = parse_perf(serialize_samples(fmt, reparsed))
+    assert [s.readings for s in again] == [s.readings for s in reparsed]
+
+
+class TestRoundTripProperties:
+    @given(samples=_single_sample("perf-csv"))
+    @settings(max_examples=100, deadline=None)
+    def test_csv_round_trip(self, samples):
+        _assert_fixpoint("perf-csv", samples)
+
+    @given(samples=_interval_samples())
+    @settings(max_examples=100, deadline=None)
+    def test_interval_round_trip(self, samples):
+        _assert_fixpoint("perf-interval", samples)
+
+    @given(samples=_single_sample("perf-human"))
+    @settings(max_examples=100, deadline=None)
+    def test_human_round_trip(self, samples):
+        canonical = serialize_samples("perf-human", samples)
+        fmt, reparsed = parse_perf(canonical, format="auto")
+        assert fmt == "perf-human"
+        assert serialize_samples(fmt, reparsed) == canonical
+
+    @given(
+        rows=st.lists(
+            st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,16}", fullmatch=True),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+        names=st.lists(_EVENT, min_size=1, max_size=5, unique=True),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_papi_round_trip(self, rows, names, data):
+        records = []
+        for row in rows:
+            for rep in range(data.draw(st.integers(1, 3))):
+                sample = CounterSample(source="<prop>", format="papi-csv")
+                for name in names:
+                    kind = data.draw(
+                        st.sampled_from(["value", "not_counted", "not_supported"])
+                    )
+                    if kind == "value":
+                        sample.readings.append(
+                            CounterReading(name, data.draw(_VALUE))
+                        )
+                    elif kind == "not_counted":
+                        sample.readings.append(
+                            CounterReading(name, 0.0, QUALITY_NOT_COUNTED)
+                        )
+                    else:
+                        sample.readings.append(
+                            CounterReading(name, 0.0, QUALITY_NOT_SUPPORTED)
+                        )
+                records.append(
+                    PapiRecord(row=row, repetition=rep, sample=sample)
+                )
+        matrix = PapiMatrix(
+            source="<prop>", event_names=tuple(names), records=records
+        )
+        canonical = serialize_papi_csv(matrix)
+        reparsed = parse_papi_csv(canonical)
+        assert serialize_papi_csv(reparsed) == canonical  # byte-stable
+        assert reparsed.event_names == matrix.event_names
+        assert [
+            (r.row, r.repetition, r.sample.readings) for r in reparsed.records
+        ] == [(r.row, r.repetition, r.sample.readings) for r in matrix.records]

@@ -1,0 +1,173 @@
+"""Runner tests: identical-pipeline reuse, degraded-flag accountability,
+ingestion provenance on catalog entries, and bit-identical re-ingest
+dedup — the ISSUE's acceptance surface."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.ingest import (
+    INGEST_SEED,
+    assemble,
+    load_manifest,
+    run_ingest,
+)
+from repro.serve.catalog import MetricCatalogStore
+
+DATA = Path(__file__).parent.parent / "data" / "ingest"
+SPR = DATA / "spr_branch" / "manifest.json"
+ZEN3 = DATA / "zen3_branch" / "manifest.json"
+
+
+@pytest.fixture(scope="module")
+def spr_outcome():
+    return run_ingest(assemble(load_manifest(SPR)))
+
+
+@pytest.fixture(scope="module")
+def zen3_outcome():
+    return run_ingest(assemble(load_manifest(ZEN3)))
+
+
+class TestIdenticalPipeline:
+    def test_spr_pipeline_stages_ran(self, spr_outcome):
+        result = spr_outcome.result
+        # The injected matrix went through the standard stages: the
+        # all-zero discard drops FAR_BRANCH (true zeros) and the
+        # <not supported> typed-zero column; the tau filter drops the
+        # noisy BACLEARS:ANY column.
+        assert "BR_INST_RETIRED:FAR_BRANCH" in result.noise.discarded_zero
+        assert "INT_MISC:CLEAR_RESTEER_CYCLES" in result.noise.discarded_zero
+        assert "BACLEARS:ANY" in result.noise.noisy
+        assert result.selected_events  # QRCP ran and picked a basis
+        assert result.metrics  # composition produced metric definitions
+
+    def test_measurement_is_the_ingested_one(self, spr_outcome):
+        assert spr_outcome.result.measurement is (
+            spr_outcome.bundle.measurement
+        )
+
+    def test_zen3_runs_same_path(self, zen3_outcome):
+        result = zen3_outcome.result
+        assert result.selected_events
+        assert result.metrics
+
+
+class TestDegradedAccountability:
+    """A quality-flagged column must never compose into a metric without
+    the metric carrying ``degraded=True`` — checked exhaustively over
+    every composed metric, not just the fixture's known-degraded two."""
+
+    @pytest.mark.parametrize("which", ["spr", "zen3"])
+    def test_no_flagged_column_composes_unflagged(
+        self, which, spr_outcome, zen3_outcome
+    ):
+        outcome = spr_outcome if which == "spr" else zen3_outcome
+        flagged = set(outcome.bundle.flagged_columns)
+        assert flagged  # the corpus guarantees flagged columns exist
+        for name, definition in outcome.result.metrics.items():
+            judged = outcome.result.rounded_metrics.get(name, definition)
+            composes_flagged = any(
+                coeff != 0.0 and event in flagged
+                for event, coeff in zip(
+                    judged.event_names, judged.coefficients
+                )
+            )
+            if composes_flagged:
+                assert definition.degraded, name
+                rounded = outcome.result.rounded_metrics.get(name)
+                if rounded is not None:
+                    assert rounded.degraded, name
+            assert (name in outcome.degraded_metrics) == composes_flagged
+
+    def test_fixture_degrades_exactly_the_misprediction_metrics(
+        self, spr_outcome, zen3_outcome
+    ):
+        # Both corpora flag their misprediction counter (multiplexed on
+        # SPR, <not counted> on zen3), which QRCP selects — so exactly
+        # the two metrics composing it come out degraded.
+        expected = {
+            "Mispredicted Branches.",
+            "Correctly Predicted Branches.",
+        }
+        assert set(spr_outcome.degraded_metrics) == expected
+        assert set(zen3_outcome.degraded_metrics) == expected
+
+    def test_flag_without_composition_degrades_nothing(self, spr_outcome):
+        # NEAR_TAKEN is multiplexed but QRCP does not select it: the
+        # flag is recorded in the bundle yet no metric composes the
+        # column, so it must not contribute a degraded stamp.
+        assert "BR_INST_RETIRED:NEAR_TAKEN" in (
+            spr_outcome.bundle.flagged_columns
+        )
+        assert "BR_INST_RETIRED:NEAR_TAKEN" not in (
+            spr_outcome.result.selected_events
+        )
+
+    def test_clean_metrics_stay_undegraded(self, spr_outcome):
+        clean = [
+            name
+            for name, definition in spr_outcome.result.metrics.items()
+            if name not in spr_outcome.degraded_metrics
+        ]
+        assert clean  # not everything degrades
+        for name in clean:
+            assert not spr_outcome.result.metrics[name].degraded, name
+
+
+class TestPublication:
+    def test_entries_carry_ingest_provenance(self, tmp_path):
+        store = MetricCatalogStore(tmp_path / "catalog")
+        bundle = assemble(load_manifest(SPR))
+        outcome = run_ingest(bundle, store=store)
+        assert outcome.published
+        assert outcome.deduped == 0
+        for entry in outcome.published:
+            assert entry.arch == "spr-ingest"
+            assert entry.seed == INGEST_SEED
+            prov = entry.provenance
+            assert prov["kind"] == "ingest"
+            assert prov["collector"] == "perf"
+            assert prov["uarch"] == "sapphire_rapids"
+            assert prov["sources"] == bundle.provenance()["sources"]
+            assert prov["unmapped"] == ["cpu_custom.unknown_event"]
+        degraded_published = {
+            e.metric for e in outcome.published if e.degraded
+        }
+        assert degraded_published == set(outcome.degraded_metrics)
+
+    def test_reingest_is_bit_identical_and_dedupes(self, tmp_path):
+        store = MetricCatalogStore(tmp_path / "catalog")
+        first = run_ingest(assemble(load_manifest(SPR)), store=store)
+        second = run_ingest(assemble(load_manifest(SPR)), store=store)
+        assert len(second.published) == len(first.published)
+        assert second.deduped == len(second.published)
+        by_metric = {e.metric: e for e in first.published}
+        for entry in second.published:
+            original = by_metric[entry.metric]
+            assert entry.version == original.version
+            assert entry.content_digest() == original.content_digest()
+
+    def test_simulated_entries_unaffected_by_provenance_field(self, tmp_path):
+        # The provenance field is pop-when-empty in the content digest:
+        # entries published without provenance hash exactly as before
+        # the field existed (catalog back-compat).
+        store = MetricCatalogStore(tmp_path / "catalog")
+        outcome = run_ingest(assemble(load_manifest(ZEN3)), store=store)
+        entry = outcome.published[0]
+        stripped = entry.to_payload()
+        assert stripped["provenance"]  # ingested entries carry it
+        bare = store.get(entry.arch, entry.metric, entry.config_digest)
+        assert bare.provenance == entry.provenance
+
+    def test_without_store_nothing_publishes(self, spr_outcome):
+        assert spr_outcome.published == []
+        assert spr_outcome.deduped == 0
+
+    def test_summary_mentions_publication(self, tmp_path):
+        store = MetricCatalogStore(tmp_path / "catalog")
+        outcome = run_ingest(assemble(load_manifest(ZEN3)), store=store)
+        text = outcome.summary()
+        assert "catalog:" in text
+        assert "zen3-ingest@seed0" in text
+        assert "degraded (composes a quality-flagged column)" in text
